@@ -1,0 +1,158 @@
+// Ablations for the design choices called out in DESIGN.md §5 (beyond the
+// paper's own Figure 14 ablation of detection granularity / commit mode):
+//
+//  1. Placement algorithm: randomized first fit (spreads claims) vs the
+//     scoring best-fit placer (concentrates them) — conflict rates under
+//     identical decision times.
+//  2. Statically partitioned vs shared cell: fragmentation cost (§3.2).
+//  3. Priority preemption on/off for the service scheduler on a packed cell.
+#include <iostream>
+
+#include "bench/bench_common.h"
+#include "src/hifi/scoring_placer.h"
+#include "src/omega/omega_scheduler.h"
+#include "src/scheduler/monolithic.h"
+#include "src/scheduler/partitioned.h"
+
+using namespace omega;
+
+namespace {
+
+int64_t TotalConflicts(OmegaSimulation& sim) {
+  int64_t c = sim.service_scheduler().metrics().TasksConflicted();
+  for (uint32_t i = 0; i < sim.NumBatchSchedulers(); ++i) {
+    c += sim.batch_scheduler(i).metrics().TasksConflicted();
+  }
+  return c;
+}
+
+void PlacementAblation() {
+  std::cout << "\n--- ablation 1: randomized first fit vs scoring best-fit ---\n";
+  ClusterConfig cfg = TestCluster(128);
+  cfg.batch.interarrival_mean_secs = 0.5;
+  cfg.service.interarrival_mean_secs = 20.0;
+  SchedulerConfig sched;
+  sched.batch_times.t_job = Duration::FromSeconds(0.5);
+  sched.service_times.t_job = Duration::FromSeconds(5.0);
+  SimOptions opts;
+  opts.horizon = BenchHorizon(0.25);
+  opts.seed = 21;
+
+  TablePrinter table({"placer", "conflicted task claims", "svc conflict frac"});
+  {
+    OmegaSimulation sim(cfg, opts, sched, sched);  // randomized first fit
+    sim.Run();
+    table.AddRow({"randomized first fit", std::to_string(TotalConflicts(sim)),
+                  FormatValue(sim.service_scheduler()
+                                  .metrics()
+                                  .ConflictFraction(sim.EndTime())
+                                  .mean)});
+  }
+  {
+    OmegaSimulation sim(cfg, opts, sched, sched, 1, {}, [] {
+      return std::make_unique<ScoringPlacer>();
+    });
+    sim.cell().EnableAvailabilityIndex();
+    sim.Run();
+    table.AddRow({"scoring best-fit", std::to_string(TotalConflicts(sim)),
+                  FormatValue(sim.service_scheduler()
+                                  .metrics()
+                                  .ConflictFraction(sim.EndTime())
+                                  .mean)});
+  }
+  table.Print(std::cout);
+  std::cout << "best-fit concentrates schedulers onto the same machines,\n"
+               "which is why the high-fidelity simulator sees more "
+               "interference (sec. 5).\n";
+}
+
+void PartitionAblation() {
+  std::cout << "\n--- ablation 2: statically partitioned vs shared cell ---\n";
+  ClusterConfig cfg = TestCluster(64);
+  cfg.initial_utilization = 0.05;
+  cfg.batch.interarrival_mean_secs = 0.4;
+  cfg.batch.task_duration_secs = std::make_shared<ConstantDist>(600.0);
+  SchedulerConfig sched;
+  sched.max_attempts = 100;
+  SimOptions opts;
+  opts.horizon = BenchHorizon(0.25);
+  opts.seed = 22;
+
+  TablePrinter table({"design", "batch jobs scheduled", "batch wait [s]",
+                      "batch part util", "service part util"});
+  {
+    PartitionedSimulation sim(cfg, opts, sched, sched, /*batch_fraction=*/0.25);
+    sim.Run();
+    table.AddRow(
+        {"partitioned 25/75",
+         std::to_string(sim.batch_scheduler().metrics().JobsScheduled(JobType::kBatch)),
+         FormatValue(sim.batch_scheduler().metrics().MeanWait(JobType::kBatch)),
+         FormatValue(sim.PartitionCpuUtilization(sim.batch_range())),
+         FormatValue(sim.PartitionCpuUtilization(sim.service_range()))});
+  }
+  {
+    MonolithicSimulation sim(cfg, opts, sched);
+    sim.Run();
+    table.AddRow(
+        {"shared (monolithic)",
+         std::to_string(sim.scheduler().metrics().JobsScheduled(JobType::kBatch)),
+         FormatValue(sim.scheduler().metrics().MeanWait(JobType::kBatch)),
+         FormatValue(sim.cell().CpuUtilization()),
+         FormatValue(sim.cell().CpuUtilization())});
+  }
+  table.Print(std::cout);
+  std::cout << "fixed partitions fragment the cell: the loaded partition "
+               "starves while the other idles (sec. 3.2).\n";
+}
+
+void PreemptionAblation() {
+  std::cout << "\n--- ablation 3: service preemption on a packed cell ---\n";
+  ClusterConfig cfg = TestCluster(16);
+  cfg.initial_utilization = 0.05;
+  cfg.batch.interarrival_mean_secs = 1.0;
+  cfg.batch.tasks_per_job = std::make_shared<ConstantDist>(8.0);
+  cfg.batch.cpus_per_task = std::make_shared<ConstantDist>(1.0);
+  cfg.batch.mem_gb_per_task = std::make_shared<ConstantDist>(1.0);
+  cfg.batch.task_duration_secs = std::make_shared<ConstantDist>(36000.0);
+  cfg.service.interarrival_mean_secs = 300.0;
+  cfg.service.cpus_per_task = std::make_shared<ConstantDist>(2.0);
+  cfg.service.mem_gb_per_task = std::make_shared<ConstantDist>(2.0);
+
+  SimOptions opts;
+  opts.horizon = BenchHorizon(0.25);
+  opts.seed = 23;
+  opts.track_running_tasks = true;
+
+  SchedulerConfig batch;
+  batch.max_attempts = 20;
+  TablePrinter table({"service preemption", "service scheduled",
+                      "service abandoned", "tasks preempted"});
+  for (bool preempt : {false, true}) {
+    SchedulerConfig service = batch;
+    service.enable_preemption = preempt;
+    OmegaSimulation sim(cfg, opts, batch, service);
+    sim.Run();
+    table.AddRow(
+        {preempt ? "on" : "off",
+         std::to_string(
+             sim.service_scheduler().metrics().JobsScheduled(JobType::kService)),
+         std::to_string(sim.service_scheduler().metrics().JobsAbandonedTotal()),
+         std::to_string(sim.TasksPreempted())});
+  }
+  table.Print(std::cout);
+  std::cout << "preemption lets high-precedence work claim resources other\n"
+               "schedulers already acquired (sec. 3.4), at the cost of the\n"
+               "victims' lost work.\n";
+}
+
+}  // namespace
+
+int main() {
+  PrintBenchHeader("Ablations", "design-choice ablations (DESIGN.md sec. 5)",
+                   "placement spread vs packing; static partitioning cost; "
+                   "priority preemption");
+  PlacementAblation();
+  PartitionAblation();
+  PreemptionAblation();
+  return 0;
+}

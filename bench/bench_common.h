@@ -1,0 +1,44 @@
+// Shared helpers for the figure/table reproduction benches.
+#ifndef OMEGA_BENCH_BENCH_COMMON_H_
+#define OMEGA_BENCH_BENCH_COMMON_H_
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "src/exp/experiment.h"
+#include "src/scheduler/config.h"
+#include "src/workload/cluster_config.h"
+
+namespace omega {
+
+// Paper defaults: t_job = 0.1 s, t_task = 5 ms for both paths.
+inline SchedulerConfig DefaultSchedulerConfig(const std::string& name) {
+  SchedulerConfig c;
+  c.name = name;
+  return c;
+}
+
+// Scheduler config with a given service-path per-job decision time.
+inline SchedulerConfig ServiceConfigWithTjob(double t_job_secs) {
+  SchedulerConfig c = DefaultSchedulerConfig("service");
+  c.service_times.t_job = Duration::FromSeconds(t_job_secs);
+  return c;
+}
+
+inline void PrintBenchHeader(const std::string& id, const std::string& title,
+                             const std::string& paper_expectation) {
+  std::cout << "==========================================================\n"
+            << id << ": " << title << "\n"
+            << "paper: " << paper_expectation << "\n"
+            << "==========================================================\n";
+}
+
+// The t_job(service) sweep used by Figures 5-7 and 12 (10 ms .. 100 s).
+inline std::vector<double> TjobSweep(int points = 7) {
+  return LogSpace(0.01, 100.0, points);
+}
+
+}  // namespace omega
+
+#endif  // OMEGA_BENCH_BENCH_COMMON_H_

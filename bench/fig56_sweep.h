@@ -1,0 +1,99 @@
+// Shared sweep for Figures 5 and 6: monolithic single-path, monolithic
+// multi-path and shared-state (Omega) schedulers on clusters A, B and C,
+// varying t_job (single-path varies it for all jobs; the others for service
+// jobs only).
+#ifndef OMEGA_BENCH_FIG56_SWEEP_H_
+#define OMEGA_BENCH_FIG56_SWEEP_H_
+
+#include <string>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "src/common/parallel_for.h"
+#include "src/omega/omega_scheduler.h"
+#include "src/scheduler/monolithic.h"
+
+namespace omega {
+
+struct SweepResult {
+  std::string arch;
+  std::string cluster;
+  double t_job_secs = 0.0;
+  double batch_wait = 0.0;
+  double service_wait = 0.0;
+  double batch_busy = 0.0;
+  double batch_busy_mad = 0.0;
+  double service_busy = 0.0;
+  double service_busy_mad = 0.0;
+  int64_t abandoned = 0;
+};
+
+inline std::vector<SweepResult> RunFig56Sweep(const Duration horizon) {
+  struct Point {
+    const char* arch;
+    const char* cluster;
+    double t_job;
+  };
+  std::vector<Point> points;
+  for (const char* arch : {"mono-single", "mono-multi", "omega"}) {
+    for (const char* cluster : {"A", "B", "C"}) {
+      for (double t : TjobSweep()) {
+        points.push_back({arch, cluster, t});
+      }
+    }
+  }
+  std::vector<SweepResult> results(points.size());
+  ParallelFor(
+      points.size(),
+      [&](size_t i) {
+        const Point& p = points[i];
+        SimOptions opts;
+        opts.horizon = horizon;
+        opts.seed = 1000 + i;
+        const ClusterConfig cfg = ClusterByName(p.cluster);
+        SweepResult r;
+        r.arch = p.arch;
+        r.cluster = p.cluster;
+        r.t_job_secs = p.t_job;
+        const SimTime end = SimTime::Zero() + horizon;
+        if (std::string(p.arch) == "omega") {
+          OmegaSimulation sim(cfg, opts, DefaultSchedulerConfig("batch"),
+                              ServiceConfigWithTjob(p.t_job));
+          sim.Run();
+          const auto& bm = sim.batch_scheduler(0).metrics();
+          const auto& sm = sim.service_scheduler().metrics();
+          r.batch_wait = bm.MeanWait(JobType::kBatch);
+          r.service_wait = sm.MeanWait(JobType::kService);
+          r.batch_busy = bm.Busyness(end).median;
+          r.batch_busy_mad = bm.Busyness(end).mad;
+          r.service_busy = sm.Busyness(end).median;
+          r.service_busy_mad = sm.Busyness(end).mad;
+          r.abandoned = sim.TotalJobsAbandoned();
+        } else {
+          SchedulerConfig sched = ServiceConfigWithTjob(p.t_job);
+          if (std::string(p.arch) == "mono-single") {
+            // Single code path: every job pays the same decision time.
+            sched.batch_times = sched.service_times;
+          }
+          MonolithicSimulation sim(cfg, opts, sched);
+          sim.Run();
+          const auto& m = sim.scheduler().metrics();
+          r.batch_wait = m.MeanWait(JobType::kBatch);
+          r.service_wait = m.MeanWait(JobType::kService);
+          // One scheduler serves both types: its busyness is reported in both
+          // columns.
+          r.batch_busy = m.Busyness(end).median;
+          r.batch_busy_mad = m.Busyness(end).mad;
+          r.service_busy = r.batch_busy;
+          r.service_busy_mad = r.batch_busy_mad;
+          r.abandoned = m.JobsAbandonedTotal();
+        }
+        results[i] = r;
+      },
+      BenchThreads());
+  return results;
+}
+
+}  // namespace omega
+
+#endif  // OMEGA_BENCH_FIG56_SWEEP_H_

@@ -1,0 +1,37 @@
+// Figure 6: scheduler busyness (median daily value, +/- MAD) as a function of
+// t_job / t_job(service) for the three architectures of §4.1/§4.3.
+//
+// Paper shape: single-path busyness scales linearly with t_job until it
+// saturates at 1.0; multi-path and Omega stay low for batch; in Omega the
+// service scheduler's busyness grows with t_job(service) but the batch
+// scheduler is unaffected.
+#include <iostream>
+
+#include "bench/fig56_sweep.h"
+
+using namespace omega;
+
+int main() {
+  PrintBenchHeader("Figure 6", "scheduler busyness vs t_job(service)",
+                   "single-path scales linearly to saturation; multi-path and "
+                   "Omega keep the batch path unaffected");
+  const auto results = RunFig56Sweep(BenchHorizon(1.0));
+  for (const char* arch : {"mono-single", "mono-multi", "omega"}) {
+    std::cout << "\n--- " << arch << " ---\n";
+    TablePrinter table({"cluster", "t_job(service) [s]", "batch busy (+/-MAD)",
+                        "service busy (+/-MAD)", "abandoned"});
+    for (const SweepResult& r : results) {
+      if (r.arch != arch) {
+        continue;
+      }
+      table.AddRow({r.cluster, FormatValue(r.t_job_secs),
+                    FormatValue(r.batch_busy) + " +/- " +
+                        FormatValue(r.batch_busy_mad),
+                    FormatValue(r.service_busy) + " +/- " +
+                        FormatValue(r.service_busy_mad),
+                    std::to_string(r.abandoned)});
+    }
+    table.Print(std::cout);
+  }
+  return 0;
+}

@@ -1,0 +1,63 @@
+// Figure 9: shared-state (Omega) with 1..32 load-balanced batch schedulers on
+// cluster B, sweeping the relative batch arrival rate: mean conflict fraction
+// and mean per-scheduler busyness.
+//
+// Paper shape: the conflict fraction increases with more schedulers (more
+// opportunities to conflict) but per-scheduler busyness drops, so the model
+// scales to higher batch loads through at least 32 schedulers.
+#include <iostream>
+
+#include "bench/bench_common.h"
+#include "src/common/parallel_for.h"
+#include "src/omega/omega_scheduler.h"
+
+using namespace omega;
+
+int main() {
+  PrintBenchHeader("Figure 9", "Omega: 1..32 batch schedulers, cluster B",
+                   "conflict fraction rises with scheduler count; "
+                   "per-scheduler busyness falls (scaling holds through 32)");
+  const Duration horizon = BenchHorizon(0.5);
+  const std::vector<uint32_t> scheduler_counts{1, 2, 4, 8, 16, 32};
+  const std::vector<double> multipliers{1, 2, 4, 6, 8, 10};
+  struct Point {
+    uint32_t schedulers;
+    double mult;
+  };
+  std::vector<Point> points;
+  for (uint32_t s : scheduler_counts) {
+    for (double m : multipliers) {
+      points.push_back({s, m});
+    }
+  }
+  struct Row {
+    Point p;
+    double conflict_fraction, busyness, wait;
+  };
+  std::vector<Row> rows(points.size());
+  ParallelFor(
+      points.size(),
+      [&](size_t i) {
+        SimOptions opts;
+        opts.horizon = horizon;
+        opts.seed = 9000 + i;
+        opts.batch_rate_multiplier = points[i].mult;
+        OmegaSimulation sim(ClusterB(), opts, DefaultSchedulerConfig("batch"),
+                            DefaultSchedulerConfig("service"),
+                            points[i].schedulers);
+        sim.Run();
+        rows[i] = Row{points[i], sim.MeanBatchConflictFraction(),
+                      sim.MeanBatchBusyness(), sim.MeanBatchWait()};
+      },
+      BenchThreads());
+
+  TablePrinter table({"batch schedulers", "rel. rate", "mean conflict frac",
+                      "mean sched busyness", "mean batch wait [s]"});
+  for (const Row& r : rows) {
+    table.AddRow({std::to_string(r.p.schedulers), FormatValue(r.p.mult),
+                  FormatValue(r.conflict_fraction), FormatValue(r.busyness),
+                  FormatValue(r.wait)});
+  }
+  table.Print(std::cout);
+  return 0;
+}

@@ -1,0 +1,161 @@
+// Micro-benchmarks of the simulator's core operations (google-benchmark):
+// cell-state allocate/free, transaction commit under both conflict-detection
+// modes, the placement algorithms (including the randomized-first-fit vs
+// scoring-placer ablation from DESIGN.md), and the event queue.
+#include <benchmark/benchmark.h>
+
+#include "src/cluster/cell_state.h"
+#include "src/hifi/scoring_placer.h"
+#include "src/scheduler/placement.h"
+#include "src/sim/event_queue.h"
+#include "src/sim/simulator.h"
+
+namespace omega {
+namespace {
+
+constexpr Resources kMachine{4.0, 16.0};
+constexpr Resources kTask{0.5, 1.0};
+
+void BM_CellStateAllocateFree(benchmark::State& state) {
+  CellState cell(static_cast<uint32_t>(state.range(0)), kMachine);
+  MachineId m = 0;
+  for (auto _ : state) {
+    cell.Allocate(m, kTask);
+    cell.Free(m, kTask);
+    m = (m + 1) % cell.NumMachines();
+  }
+  state.SetItemsProcessed(state.iterations() * 2);
+}
+BENCHMARK(BM_CellStateAllocateFree)->Arg(1000)->Arg(12000);
+
+void BM_CellStateAllocateFreeWithIndex(benchmark::State& state) {
+  CellState cell(static_cast<uint32_t>(state.range(0)), kMachine);
+  cell.EnableAvailabilityIndex();
+  MachineId m = 0;
+  for (auto _ : state) {
+    cell.Allocate(m, kTask);
+    cell.Free(m, kTask);
+    m = (m + 1) % cell.NumMachines();
+  }
+  state.SetItemsProcessed(state.iterations() * 2);
+}
+BENCHMARK(BM_CellStateAllocateFreeWithIndex)->Arg(1000)->Arg(12000);
+
+void CommitBenchmark(benchmark::State& state, ConflictMode mode) {
+  CellState cell(1000, kMachine);
+  Rng rng(1);
+  std::vector<TaskClaim> claims;
+  for (int i = 0; i < 10; ++i) {
+    const auto m = static_cast<MachineId>(rng.NextBounded(1000));
+    claims.push_back(TaskClaim{m, kTask, cell.machine(m).seqnum});
+  }
+  for (auto _ : state) {
+    const CommitResult r = cell.Commit(claims, mode, CommitMode::kIncremental);
+    benchmark::DoNotOptimize(r);
+    // Undo so the cell never fills.
+    for (const TaskClaim& c : claims) {
+      cell.Free(c.machine, c.resources);
+    }
+    state.PauseTiming();
+    for (TaskClaim& c : claims) {
+      c.seqnum_at_placement = cell.machine(c.machine).seqnum;
+    }
+    state.ResumeTiming();
+  }
+  state.SetItemsProcessed(state.iterations() * 10);
+}
+
+void BM_CommitFineGrained(benchmark::State& state) {
+  CommitBenchmark(state, ConflictMode::kFineGrained);
+}
+BENCHMARK(BM_CommitFineGrained);
+
+void BM_CommitCoarseGrained(benchmark::State& state) {
+  CommitBenchmark(state, ConflictMode::kCoarseGrained);
+}
+BENCHMARK(BM_CommitCoarseGrained);
+
+void BM_RandomizedFirstFit(benchmark::State& state) {
+  CellState cell(static_cast<uint32_t>(state.range(0)), kMachine);
+  // Half-full cell.
+  Rng fill(7);
+  for (uint32_t i = 0; i < cell.NumMachines() / 2; ++i) {
+    const auto m = static_cast<MachineId>(fill.NextBounded(cell.NumMachines()));
+    if (cell.CanFit(m, Resources{2.0, 8.0})) {
+      cell.Allocate(m, Resources{2.0, 8.0});
+    }
+  }
+  Job job;
+  job.num_tasks = 10;
+  job.task_resources = kTask;
+  RandomizedFirstFitPlacer placer;
+  Rng rng(3);
+  std::vector<TaskClaim> claims;
+  for (auto _ : state) {
+    claims.clear();
+    benchmark::DoNotOptimize(placer.PlaceTasks(cell, job, 10, rng, &claims));
+  }
+  state.SetItemsProcessed(state.iterations() * 10);
+}
+BENCHMARK(BM_RandomizedFirstFit)->Arg(1000)->Arg(12000);
+
+void BM_ScoringPlacer(benchmark::State& state) {
+  CellState cell(static_cast<uint32_t>(state.range(0)), kMachine);
+  cell.EnableAvailabilityIndex();
+  Rng fill(7);
+  for (uint32_t i = 0; i < cell.NumMachines() / 2; ++i) {
+    const auto m = static_cast<MachineId>(fill.NextBounded(cell.NumMachines()));
+    if (cell.CanFit(m, Resources{2.0, 8.0})) {
+      cell.Allocate(m, Resources{2.0, 8.0});
+    }
+  }
+  Job job;
+  job.num_tasks = 10;
+  job.task_resources = kTask;
+  ScoringPlacer placer;
+  Rng rng(3);
+  std::vector<TaskClaim> claims;
+  for (auto _ : state) {
+    claims.clear();
+    benchmark::DoNotOptimize(placer.PlaceTasks(cell, job, 10, rng, &claims));
+  }
+  state.SetItemsProcessed(state.iterations() * 10);
+}
+BENCHMARK(BM_ScoringPlacer)->Arg(1000)->Arg(12000);
+
+void BM_EventQueuePushPop(benchmark::State& state) {
+  EventQueue q;
+  Rng rng(5);
+  int64_t t = 0;
+  for (auto _ : state) {
+    for (int i = 0; i < 100; ++i) {
+      q.Push(SimTime(t + static_cast<int64_t>(rng.NextBounded(10000))), [] {});
+    }
+    while (!q.Empty()) {
+      SimTime when;
+      q.Pop(&when);
+      t = when.micros();
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * 100);
+}
+BENCHMARK(BM_EventQueuePushPop);
+
+void BM_SimulatorThroughput(benchmark::State& state) {
+  for (auto _ : state) {
+    Simulator sim;
+    int64_t count = 0;
+    for (int i = 0; i < 10000; ++i) {
+      sim.ScheduleAt(SimTime(i), [&count] { ++count; });
+    }
+    sim.Run();
+    benchmark::DoNotOptimize(count);
+  }
+  state.SetItemsProcessed(state.iterations() * 10000);
+}
+BENCHMARK(BM_SimulatorThroughput);
+
+}  // namespace
+}  // namespace omega
+
+BENCHMARK_MAIN();

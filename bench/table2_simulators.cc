@@ -1,0 +1,57 @@
+// Table 2: comparison of the two simulators, with measured wall-clock runtime
+// for a short identical scenario ("fast" vs "slow" in the paper: 24h of
+// simulated time took ~5 minutes in the lightweight simulator and ~2 hours in
+// the high-fidelity one; ours are much faster but preserve the ratio's sign).
+#include <chrono>
+#include <iostream>
+
+#include "bench/bench_common.h"
+#include "src/hifi/hifi_simulation.h"
+#include "src/omega/omega_scheduler.h"
+
+using namespace omega;
+
+int main() {
+  PrintBenchHeader("Table 2", "lightweight vs high-fidelity simulator",
+                   "lightweight: synthetic/sampled, constraints ignored, "
+                   "randomized first fit, fast; high-fidelity: trace-driven, "
+                   "constraints obeyed, production-like algorithm, slow");
+  TablePrinter table({"", "Lightweight (sec.4)", "High-fidelity (sec.5)"});
+  table.AddRow({"machines", "homogeneous", "actual data (trace)"});
+  table.AddRow({"initial cell state", "sampled", "trace-derived"});
+  table.AddRow({"tasks per job / arrivals", "sampled", "trace records"});
+  table.AddRow({"task duration", "sampled", "trace records"});
+  table.AddRow({"sched. constraints", "ignored", "obeyed"});
+  table.AddRow({"sched. algorithm", "randomized first fit",
+                "scoring placement (constraint-aware best-fit + spreading)"});
+  table.AddRow({"machine fullness", "exact capacity", "headroom (stricter)"});
+  table.Print(std::cout);
+
+  // Measured runtime, same simulated window on cluster C.
+  const Duration horizon = BenchHorizon(0.1);
+  SimOptions opts;
+  opts.horizon = horizon;
+  opts.seed = 2;
+  SchedulerConfig batch = DefaultSchedulerConfig("batch");
+  SchedulerConfig service = ServiceConfigWithTjob(1.0);
+
+  const auto t0 = std::chrono::steady_clock::now();
+  {
+    OmegaSimulation light(ClusterC(), opts, batch, service);
+    light.Run();
+  }
+  const auto t1 = std::chrono::steady_clock::now();
+  {
+    auto hifi = MakeHifiSimulation(ClusterC(), opts, batch, service);
+    auto trace = GenerateHifiTrace(ClusterC(), horizon, 2);
+    hifi->RunTrace(std::move(trace));
+  }
+  const auto t2 = std::chrono::steady_clock::now();
+  const double light_s = std::chrono::duration<double>(t1 - t0).count();
+  const double hifi_s = std::chrono::duration<double>(t2 - t1).count();
+  std::cout << "\nmeasured runtime for " << horizon.ToHours()
+            << "h simulated (cluster C): lightweight " << FormatValue(light_s)
+            << "s, high-fidelity " << FormatValue(hifi_s) << "s ("
+            << FormatValue(hifi_s / std::max(1e-9, light_s)) << "x slower)\n";
+  return 0;
+}

@@ -1,0 +1,167 @@
+// The shared cell state: the master copy of all resource allocations (§3.4).
+//
+// CellState is the "persistent data store with validation code" at the heart
+// of the Omega architecture. Schedulers place tasks against a (logical) local
+// copy and then commit claims in an atomic transaction; the commit applies
+// optimistic concurrency control with either fine-grained (per-machine
+// resource re-check) or coarse-grained (sequence number) conflict detection,
+// and either incremental or all-or-nothing (gang) acceptance semantics (§5.2).
+#ifndef OMEGA_SRC_CLUSTER_CELL_STATE_H_
+#define OMEGA_SRC_CLUSTER_CELL_STATE_H_
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "src/cluster/machine.h"
+#include "src/cluster/resources.h"
+
+namespace omega {
+
+// How the validation code decides whether a machine can accept a new claim.
+// The lightweight simulator uses exact capacity (kExact); the high-fidelity
+// simulator models the production scheduler's stricter notion of fullness by
+// reserving a headroom fraction of every machine (kHeadroom), which makes
+// machines fill "earlier" and produces more conflicts (§5, simulator deltas).
+enum class FullnessPolicy {
+  kExact,
+  kHeadroom,
+};
+
+// Conflict detection granularity for transaction commit (§5.2).
+enum class ConflictMode {
+  kFineGrained,   // conflict only if the claim no longer fits
+  kCoarseGrained, // conflict if the machine changed at all since placement
+};
+
+// Transaction acceptance semantics (§3.4, §5.2).
+enum class CommitMode {
+  kIncremental,   // accept all but the conflicting claims
+  kAllOrNothing,  // gang scheduling: reject the whole transaction on conflict
+};
+
+// One task's claim on one machine, captured at placement time.
+struct TaskClaim {
+  MachineId machine = kInvalidMachineId;
+  Resources resources;
+  // Machine sequence number observed when the placing scheduler synced its
+  // local copy of cell state.
+  uint64_t seqnum_at_placement = 0;
+};
+
+// Result of committing a transaction.
+struct CommitResult {
+  int accepted = 0;
+  int conflicted = 0;
+
+  bool AllAccepted() const { return conflicted == 0; }
+};
+
+class CellState {
+ public:
+  // Builds a homogeneous cell of `num_machines` machines with the given
+  // per-machine capacity. Failure domains group `machines_per_domain`
+  // consecutive machines (racks).
+  CellState(uint32_t num_machines, const Resources& machine_capacity,
+            FullnessPolicy fullness = FullnessPolicy::kExact,
+            double headroom_fraction = 0.0, uint32_t machines_per_domain = 40);
+
+  // Builds a heterogeneous cell with the given per-machine capacities (the
+  // high-fidelity simulator's "machines: actual data", Table 2).
+  CellState(std::vector<Resources> machine_capacities,
+            FullnessPolicy fullness = FullnessPolicy::kExact,
+            double headroom_fraction = 0.0, uint32_t machines_per_domain = 40);
+
+  uint32_t NumMachines() const { return static_cast<uint32_t>(machines_.size()); }
+  const Machine& machine(MachineId id) const { return machines_[id]; }
+  Machine& mutable_machine(MachineId id) { return machines_[id]; }
+
+  FullnessPolicy fullness_policy() const { return fullness_; }
+  double headroom_fraction() const { return headroom_fraction_; }
+
+  // Effective capacity a claim may use on `id` under the fullness policy.
+  Resources UsableCapacity(MachineId id) const;
+
+  // Validation predicate: can `request` be placed on machine `id` right now?
+  bool CanFit(MachineId id, const Resources& request) const;
+
+  // As CanFit, but with `extra` already hypothetically allocated (pending
+  // same-transaction claims on the same machine).
+  bool CanFitWithPending(MachineId id, const Resources& request,
+                         const Resources& extra) const;
+
+  // Immediately allocates/frees (bumping the machine's sequence number).
+  // Allocate CHECK-fails if the claim does not fit; Free CHECK-fails if it
+  // would drive the allocation negative.
+  void Allocate(MachineId id, const Resources& request);
+  void Free(MachineId id, const Resources& request);
+
+  // Atomically commits a set of claims placed against an earlier snapshot.
+  // Accepted claims are allocated; conflicting claims (per `conflict_mode`,
+  // `commit_mode`) are reported in `rejected` if non-null. Claims within one
+  // transaction never conflict with each other on sequence numbers.
+  CommitResult Commit(std::span<const TaskClaim> claims, ConflictMode conflict_mode,
+                      CommitMode commit_mode,
+                      std::vector<TaskClaim>* rejected = nullptr);
+
+  Resources TotalCapacity() const { return total_capacity_; }
+  Resources TotalAllocated() const { return total_allocated_; }
+  Resources TotalAvailable() const { return total_capacity_ - total_allocated_; }
+
+  double CpuUtilization() const;
+  double MemUtilization() const;
+  // max(cpu, mem) utilization — the "overall cluster utilization" the
+  // MapReduce global-cap policy thresholds on (§6.1).
+  double MaxUtilization() const;
+
+  // Verifies internal consistency (per-machine sums vs. totals); used by
+  // tests and debug builds. Returns true when consistent.
+  bool CheckInvariants() const;
+
+  // --- availability index ---
+  //
+  // An optional bucketed index of machines by *effective* availability — the
+  // binding dimension min(avail_cpu, avail_mem / mem-per-cpu-ratio), in CPU
+  // units — so that best-fit placement ("tightest feasible machine first")
+  // runs in O(candidates) instead of O(machines), and machines that are loose
+  // in CPU but exhausted in memory sort as tight. The high-fidelity scoring
+  // placer uses it; the lightweight randomized first fit does not need it.
+
+  void EnableAvailabilityIndex(uint32_t num_buckets = 64);
+  bool HasAvailabilityIndex() const { return !buckets_.empty(); }
+
+  // Effective availability key of a request: the CPU-unit requirement in the
+  // binding dimension. Machines in buckets below EffectiveKey(request) cannot
+  // fit the request in at least one dimension.
+  double EffectiveKey(const Resources& r) const;
+
+  // Visits machines in order of increasing effective availability (tightest
+  // feasible bucket first), starting from the lowest bucket that can contain
+  // a machine able to fit `min_request`. The visitor returns false to stop.
+  void VisitByAvailability(const Resources& min_request,
+                           const std::function<bool(MachineId)>& visitor) const;
+
+ private:
+  size_t BucketFor(MachineId id) const;
+  void IndexRemove(MachineId id);
+  void IndexInsert(MachineId id);
+  void IndexUpdate(MachineId id, size_t old_bucket);
+
+  std::vector<Machine> machines_;
+  Resources total_capacity_;
+  Resources total_allocated_;
+  FullnessPolicy fullness_;
+  double headroom_fraction_;
+
+  // Availability index state (empty when disabled).
+  std::vector<std::vector<MachineId>> buckets_;
+  std::vector<uint32_t> bucket_of_;    // per machine
+  std::vector<uint32_t> pos_in_bucket_;  // per machine
+  double bucket_scale_ = 0.0;          // buckets per effective cpu
+  double mem_per_cpu_ = 4.0;           // GB per core, for the effective key
+};
+
+}  // namespace omega
+
+#endif  // OMEGA_SRC_CLUSTER_CELL_STATE_H_

@@ -1,0 +1,37 @@
+// A single machine in a cell.
+#ifndef OMEGA_SRC_CLUSTER_MACHINE_H_
+#define OMEGA_SRC_CLUSTER_MACHINE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/cluster/resources.h"
+
+namespace omega {
+
+using MachineId = uint32_t;
+inline constexpr MachineId kInvalidMachineId = ~0u;
+
+struct Machine {
+  MachineId id = kInvalidMachineId;
+  Resources capacity;
+  Resources allocated;
+
+  // Bumped on every allocation or free; coarse-grained conflict detection
+  // (§5.2) compares this against the value captured at placement time.
+  uint64_t seqnum = 0;
+
+  // Failure-domain index (rack); the high-fidelity placement algorithm spreads
+  // a job's tasks across failure domains.
+  int32_t failure_domain = 0;
+
+  // Attribute value per attribute key; task placement constraints (§5) are
+  // predicates over these.
+  std::vector<int32_t> attributes;
+
+  Resources Available() const { return capacity - allocated; }
+};
+
+}  // namespace omega
+
+#endif  // OMEGA_SRC_CLUSTER_MACHINE_H_

@@ -1,0 +1,78 @@
+// Multi-dimensional resource quantities (CPU cores and RAM).
+//
+// The paper's clusters schedule over two resource dimensions; all comparisons
+// are componentwise with a small epsilon so that repeated allocate/free cycles
+// do not accumulate floating-point drift into spurious "does not fit" results.
+#ifndef OMEGA_SRC_CLUSTER_RESOURCES_H_
+#define OMEGA_SRC_CLUSTER_RESOURCES_H_
+
+#include <algorithm>
+#include <ostream>
+
+namespace omega {
+
+inline constexpr double kResourceEpsilon = 1e-9;
+
+struct Resources {
+  double cpus = 0.0;
+  double mem_gb = 0.0;
+
+  static constexpr Resources Zero() { return Resources{0.0, 0.0}; }
+
+  constexpr Resources operator+(const Resources& other) const {
+    return Resources{cpus + other.cpus, mem_gb + other.mem_gb};
+  }
+  constexpr Resources operator-(const Resources& other) const {
+    return Resources{cpus - other.cpus, mem_gb - other.mem_gb};
+  }
+  constexpr Resources operator*(double k) const {
+    return Resources{cpus * k, mem_gb * k};
+  }
+  Resources& operator+=(const Resources& other) {
+    cpus += other.cpus;
+    mem_gb += other.mem_gb;
+    return *this;
+  }
+  Resources& operator-=(const Resources& other) {
+    cpus -= other.cpus;
+    mem_gb -= other.mem_gb;
+    return *this;
+  }
+
+  bool operator==(const Resources&) const = default;
+
+  // True if this request fits within `available` (componentwise, tolerant).
+  constexpr bool FitsIn(const Resources& available) const {
+    return cpus <= available.cpus + kResourceEpsilon &&
+           mem_gb <= available.mem_gb + kResourceEpsilon;
+  }
+
+  constexpr bool IsZero() const {
+    return cpus <= kResourceEpsilon && mem_gb <= kResourceEpsilon;
+  }
+
+  // True if any component is negative beyond tolerance.
+  constexpr bool IsNegative() const {
+    return cpus < -kResourceEpsilon || mem_gb < -kResourceEpsilon;
+  }
+
+  // Componentwise max with zero; used when returning leftover offer slices.
+  Resources ClampNonNegative() const {
+    return Resources{std::max(0.0, cpus), std::max(0.0, mem_gb)};
+  }
+
+  // Dominant share of this quantity relative to `total` (DRF, §3.3 / [11]).
+  double DominantShare(const Resources& total) const {
+    const double cpu_share = total.cpus > 0.0 ? cpus / total.cpus : 0.0;
+    const double mem_share = total.mem_gb > 0.0 ? mem_gb / total.mem_gb : 0.0;
+    return std::max(cpu_share, mem_share);
+  }
+};
+
+inline std::ostream& operator<<(std::ostream& os, const Resources& r) {
+  return os << "{cpus=" << r.cpus << ", mem_gb=" << r.mem_gb << "}";
+}
+
+}  // namespace omega
+
+#endif  // OMEGA_SRC_CLUSTER_RESOURCES_H_

@@ -1,0 +1,109 @@
+#include "src/cluster/task_registry.h"
+
+#include <algorithm>
+
+namespace omega {
+
+uint64_t TaskRegistry::Add(MachineId machine, const Resources& resources,
+                           int32_t precedence, uint64_t end_event) {
+  const uint64_t id = next_id_++;
+  tasks_.emplace(id, RunningTask{id, machine, resources, precedence, end_event});
+  by_machine_[machine].push_back(id);
+  return id;
+}
+
+bool TaskRegistry::Remove(uint64_t task_id) {
+  auto it = tasks_.find(task_id);
+  if (it == tasks_.end()) {
+    return false;
+  }
+  auto& list = by_machine_[it->second.machine];
+  auto pos = std::find(list.begin(), list.end(), task_id);
+  if (pos != list.end()) {
+    *pos = list.back();
+    list.pop_back();
+  }
+  tasks_.erase(it);
+  return true;
+}
+
+void TaskRegistry::SetEndEvent(uint64_t task_id, uint64_t end_event) {
+  auto it = tasks_.find(task_id);
+  if (it != tasks_.end()) {
+    it->second.end_event = end_event;
+  }
+}
+
+Resources TaskRegistry::PreemptibleOn(MachineId machine,
+                                      int32_t precedence) const {
+  Resources total;
+  auto it = by_machine_.find(machine);
+  if (it == by_machine_.end()) {
+    return total;
+  }
+  for (uint64_t id : it->second) {
+    const RunningTask& task = tasks_.at(id);
+    if (task.precedence < precedence) {
+      total += task.resources;
+    }
+  }
+  return total;
+}
+
+std::vector<RunningTask> TaskRegistry::SelectVictims(MachineId machine,
+                                                     int32_t precedence,
+                                                     const Resources& needed) const {
+  std::vector<RunningTask> candidates;
+  auto it = by_machine_.find(machine);
+  if (it == by_machine_.end()) {
+    return {};
+  }
+  for (uint64_t id : it->second) {
+    const RunningTask& task = tasks_.at(id);
+    if (task.precedence < precedence) {
+      candidates.push_back(task);
+    }
+  }
+  // Evict the least important work first; break ties on smaller tasks to
+  // minimize wasted work.
+  std::sort(candidates.begin(), candidates.end(),
+            [](const RunningTask& a, const RunningTask& b) {
+              if (a.precedence != b.precedence) {
+                return a.precedence < b.precedence;
+              }
+              return a.resources.cpus < b.resources.cpus;
+            });
+  std::vector<RunningTask> victims;
+  Resources freed;
+  for (const RunningTask& task : candidates) {
+    if (needed.FitsIn(freed)) {
+      break;
+    }
+    victims.push_back(task);
+    freed += task.resources;
+  }
+  if (!needed.FitsIn(freed)) {
+    return {};
+  }
+  return victims;
+}
+
+size_t TaskRegistry::NumRunningOn(MachineId machine) const {
+  auto it = by_machine_.find(machine);
+  return it == by_machine_.end() ? 0 : it->second.size();
+}
+
+std::vector<RunningTask> TaskRegistry::TasksOn(MachineId machine) const {
+  std::vector<RunningTask> out;
+  auto it = by_machine_.find(machine);
+  if (it == by_machine_.end()) {
+    return out;
+  }
+  out.reserve(it->second.size());
+  for (uint64_t id : it->second) {
+    out.push_back(tasks_.at(id));
+  }
+  return out;
+}
+
+}  // namespace omega

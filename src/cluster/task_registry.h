@@ -1,0 +1,70 @@
+// Registry of running tasks, enabling preemption (§3.4).
+//
+// Omega schedulers may lay claim to resources that another scheduler has
+// already acquired, provided they have the appropriate priority ("complete
+// freedom to lay claim to any available cluster resources ... even ones that
+// another scheduler has already acquired"). Preempting a task requires knowing
+// which tasks run where; this registry tracks them when preemption is enabled
+// (the simulations leave it off by default, like the paper's high-fidelity
+// simulator, because it makes little difference and costs memory).
+#ifndef OMEGA_SRC_CLUSTER_TASK_REGISTRY_H_
+#define OMEGA_SRC_CLUSTER_TASK_REGISTRY_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "src/cluster/machine.h"
+#include "src/cluster/resources.h"
+
+namespace omega {
+
+struct RunningTask {
+  uint64_t task_id = 0;
+  MachineId machine = kInvalidMachineId;
+  Resources resources;
+  // Precedence: the common scale for the relative importance of work all
+  // schedulers must agree on (§3.4). Higher preempts lower.
+  int32_t precedence = 0;
+  // Opaque handle the harness uses to cancel the task's end event.
+  uint64_t end_event = 0;
+};
+
+class TaskRegistry {
+ public:
+  // Registers a running task; returns its id.
+  uint64_t Add(MachineId machine, const Resources& resources, int32_t precedence,
+               uint64_t end_event);
+
+  // Removes a task (normal completion). Returns false if unknown.
+  bool Remove(uint64_t task_id);
+
+  // Records the end-event handle once the caller has scheduled it.
+  void SetEndEvent(uint64_t task_id, uint64_t end_event);
+
+  // Total resources on `machine` held by tasks with precedence strictly below
+  // `precedence` (the preemptible pool).
+  Resources PreemptibleOn(MachineId machine, int32_t precedence) const;
+
+  // Selects victims on `machine` with precedence strictly below `precedence`
+  // whose combined resources cover `needed`, lowest precedence first. Returns
+  // an empty vector if the preemptible pool cannot cover the need. Does not
+  // mutate the registry; the caller evicts via Remove().
+  std::vector<RunningTask> SelectVictims(MachineId machine, int32_t precedence,
+                                         const Resources& needed) const;
+
+  size_t NumRunning() const { return tasks_.size(); }
+  size_t NumRunningOn(MachineId machine) const;
+
+  // Snapshot of the tasks running on `machine` (machine failures kill them).
+  std::vector<RunningTask> TasksOn(MachineId machine) const;
+
+ private:
+  std::unordered_map<uint64_t, RunningTask> tasks_;
+  std::unordered_map<MachineId, std::vector<uint64_t>> by_machine_;
+  uint64_t next_id_ = 1;
+};
+
+}  // namespace omega
+
+#endif  // OMEGA_SRC_CLUSTER_TASK_REGISTRY_H_

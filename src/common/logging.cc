@@ -1,0 +1,56 @@
+#include "src/common/logging.h"
+
+#include <atomic>
+#include <cstring>
+#include <mutex>
+
+namespace omega {
+namespace {
+
+std::atomic<int> g_min_level{static_cast<int>(LogLevel::kInfo)};
+std::mutex g_log_mutex;
+
+const char* LevelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO";
+    case LogLevel::kWarning:
+      return "WARN";
+    case LogLevel::kError:
+      return "ERROR";
+    case LogLevel::kFatal:
+      return "FATAL";
+  }
+  return "?";
+}
+
+const char* Basename(const char* path) {
+  const char* slash = std::strrchr(path, '/');
+  return slash != nullptr ? slash + 1 : path;
+}
+
+}  // namespace
+
+LogLevel GetLogLevel() {
+  return static_cast<LogLevel>(g_min_level.load(std::memory_order_relaxed));
+}
+
+void SetLogLevel(LogLevel level) {
+  g_min_level.store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
+void EmitLogLine(LogLevel level, const char* file, int line,
+                 const std::string& message) {
+  {
+    std::lock_guard<std::mutex> lock(g_log_mutex);
+    std::cerr << "[" << LevelName(level) << " " << Basename(file) << ":" << line
+              << "] " << message << "\n";
+  }
+  if (level == LogLevel::kFatal) {
+    std::abort();
+  }
+}
+
+}  // namespace omega

@@ -1,0 +1,68 @@
+// Minimal leveled logging for the simulator.
+//
+// Simulation hot paths must be able to compile logging out entirely; the
+// macros below evaluate their stream arguments only when the level is enabled.
+#ifndef OMEGA_SRC_COMMON_LOGGING_H_
+#define OMEGA_SRC_COMMON_LOGGING_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+namespace omega {
+
+enum class LogLevel : int {
+  kDebug = 0,
+  kInfo = 1,
+  kWarning = 2,
+  kError = 3,
+  kFatal = 4,
+};
+
+// Global minimum level; messages below it are dropped. Not thread-safe to
+// mutate while logging concurrently — set it once at startup.
+LogLevel GetLogLevel();
+void SetLogLevel(LogLevel level);
+
+// Internal: emits one formatted line and aborts on kFatal.
+void EmitLogLine(LogLevel level, const char* file, int line,
+                 const std::string& message);
+
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line)
+      : level_(level), file_(file), line_(line) {}
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+  ~LogMessage() { EmitLogLine(level_, file_, line_, stream_.str()); }
+
+  std::ostream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  const char* file_;
+  int line_;
+  std::ostringstream stream_;
+};
+
+}  // namespace omega
+
+#define OMEGA_LOG_IS_ON(level) \
+  (::omega::LogLevel::level >= ::omega::GetLogLevel())
+
+#define OMEGA_LOG(level)                                                   \
+  if (!OMEGA_LOG_IS_ON(level)) {                                           \
+  } else                                                                   \
+    ::omega::LogMessage(::omega::LogLevel::level, __FILE__, __LINE__).stream()
+
+// Always-on invariant check: cheap enough to keep in release builds, and the
+// simulator's correctness arguments (resource conservation, transaction
+// atomicity) lean on it.
+#define OMEGA_CHECK(cond)                                                      \
+  if (cond) {                                                                  \
+  } else                                                                       \
+    ::omega::LogMessage(::omega::LogLevel::kFatal, __FILE__, __LINE__).stream() \
+        << "Check failed: " #cond " "
+
+#endif  // OMEGA_SRC_COMMON_LOGGING_H_

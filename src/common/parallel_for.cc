@@ -1,0 +1,42 @@
+#include "src/common/parallel_for.h"
+
+#include <algorithm>
+
+namespace omega {
+
+void ParallelFor(size_t n, const std::function<void(size_t)>& fn,
+                 size_t max_threads) {
+  if (n == 0) {
+    return;
+  }
+  size_t num_threads = max_threads;
+  if (num_threads == 0) {
+    num_threads = std::max<size_t>(1, std::thread::hardware_concurrency());
+  }
+  num_threads = std::min(num_threads, n);
+  if (num_threads == 1) {
+    for (size_t i = 0; i < n; ++i) {
+      fn(i);
+    }
+    return;
+  }
+  std::atomic<size_t> next{0};
+  std::vector<std::thread> workers;
+  workers.reserve(num_threads);
+  for (size_t t = 0; t < num_threads; ++t) {
+    workers.emplace_back([&] {
+      while (true) {
+        const size_t i = next.fetch_add(1, std::memory_order_relaxed);
+        if (i >= n) {
+          return;
+        }
+        fn(i);
+      }
+    });
+  }
+  for (auto& w : workers) {
+    w.join();
+  }
+}
+
+}  // namespace omega

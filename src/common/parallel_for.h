@@ -1,0 +1,25 @@
+// Parallel execution of independent simulation runs.
+//
+// Experiment sweeps run many independent simulations (one per parameter
+// point); each is single-threaded and deterministic, so they parallelize
+// trivially across a thread pool.
+#ifndef OMEGA_SRC_COMMON_PARALLEL_FOR_H_
+#define OMEGA_SRC_COMMON_PARALLEL_FOR_H_
+
+#include <atomic>
+#include <cstddef>
+#include <functional>
+#include <thread>
+#include <vector>
+
+namespace omega {
+
+// Invokes fn(i) for i in [0, n), distributing iterations over up to
+// `max_threads` worker threads (hardware concurrency if 0). Blocks until all
+// iterations complete. fn must be safe to call concurrently for distinct i.
+void ParallelFor(size_t n, const std::function<void(size_t)>& fn,
+                 size_t max_threads = 0);
+
+}  // namespace omega
+
+#endif  // OMEGA_SRC_COMMON_PARALLEL_FOR_H_

@@ -1,0 +1,50 @@
+// Deterministic pseudo-random number generation.
+//
+// The simulator needs fast, reproducible randomness that can be forked into
+// independent streams (one per sweep point, one per workload type) so that
+// experiments are deterministic regardless of execution order or parallelism.
+// xoshiro256** is used as the core generator, seeded via SplitMix64.
+#ifndef OMEGA_SRC_COMMON_RANDOM_H_
+#define OMEGA_SRC_COMMON_RANDOM_H_
+
+#include <array>
+#include <cstdint>
+
+namespace omega {
+
+// xoshiro256** generator. Satisfies the C++ UniformRandomBitGenerator
+// requirements, so it can also drive <random> distributions if needed.
+class Rng {
+ public:
+  using result_type = uint64_t;
+
+  explicit Rng(uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~0ULL; }
+
+  uint64_t operator()() { return Next(); }
+  uint64_t Next();
+
+  // Uniform double in [0, 1).
+  double NextDouble();
+
+  // Uniform integer in [0, bound). `bound` must be > 0.
+  uint64_t NextBounded(uint64_t bound);
+
+  // Uniform double in [lo, hi).
+  double NextRange(double lo, double hi);
+
+  // Returns true with probability `p` (clamped to [0, 1]).
+  bool NextBool(double p);
+
+  // Creates an independent generator derived from this one's stream.
+  Rng Fork();
+
+ private:
+  std::array<uint64_t, 4> state_;
+};
+
+}  // namespace omega
+
+#endif  // OMEGA_SRC_COMMON_RANDOM_H_

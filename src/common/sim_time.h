@@ -1,0 +1,114 @@
+// Simulation time types.
+//
+// Simulated time is represented as integer microseconds since the start of the
+// simulation. A strong type prevents accidental mixing with other integer
+// quantities (task counts, sequence numbers, ...) that pervade the simulator.
+#ifndef OMEGA_SRC_COMMON_SIM_TIME_H_
+#define OMEGA_SRC_COMMON_SIM_TIME_H_
+
+#include <cstdint>
+#include <limits>
+#include <ostream>
+
+namespace omega {
+
+// A point in simulated time, in microseconds since simulation start.
+class SimTime {
+ public:
+  constexpr SimTime() = default;
+  constexpr explicit SimTime(int64_t micros) : micros_(micros) {}
+
+  static constexpr SimTime Zero() { return SimTime(0); }
+  static constexpr SimTime Max() {
+    return SimTime(std::numeric_limits<int64_t>::max());
+  }
+
+  static constexpr SimTime FromSeconds(double seconds) {
+    return SimTime(static_cast<int64_t>(seconds * 1e6));
+  }
+  static constexpr SimTime FromMillis(double millis) {
+    return SimTime(static_cast<int64_t>(millis * 1e3));
+  }
+  static constexpr SimTime FromMinutes(double minutes) {
+    return FromSeconds(minutes * 60.0);
+  }
+  static constexpr SimTime FromHours(double hours) {
+    return FromSeconds(hours * 3600.0);
+  }
+  static constexpr SimTime FromDays(double days) { return FromHours(days * 24.0); }
+
+  constexpr int64_t micros() const { return micros_; }
+  constexpr double ToSeconds() const { return static_cast<double>(micros_) / 1e6; }
+  constexpr double ToHours() const { return ToSeconds() / 3600.0; }
+  constexpr double ToDays() const { return ToSeconds() / 86400.0; }
+
+  constexpr auto operator<=>(const SimTime&) const = default;
+
+ private:
+  int64_t micros_ = 0;
+};
+
+// A span of simulated time, in microseconds.
+class Duration {
+ public:
+  constexpr Duration() = default;
+  constexpr explicit Duration(int64_t micros) : micros_(micros) {}
+
+  static constexpr Duration Zero() { return Duration(0); }
+  static constexpr Duration FromSeconds(double seconds) {
+    return Duration(static_cast<int64_t>(seconds * 1e6));
+  }
+  static constexpr Duration FromMillis(double millis) {
+    return Duration(static_cast<int64_t>(millis * 1e3));
+  }
+  static constexpr Duration FromMinutes(double minutes) {
+    return FromSeconds(minutes * 60.0);
+  }
+  static constexpr Duration FromHours(double hours) {
+    return FromSeconds(hours * 3600.0);
+  }
+  static constexpr Duration FromDays(double days) { return FromHours(days * 24.0); }
+
+  constexpr int64_t micros() const { return micros_; }
+  constexpr double ToSeconds() const { return static_cast<double>(micros_) / 1e6; }
+  constexpr double ToHours() const { return ToSeconds() / 3600.0; }
+
+  constexpr auto operator<=>(const Duration&) const = default;
+
+ private:
+  int64_t micros_ = 0;
+};
+
+constexpr SimTime operator+(SimTime t, Duration d) {
+  return SimTime(t.micros() + d.micros());
+}
+constexpr SimTime operator-(SimTime t, Duration d) {
+  return SimTime(t.micros() - d.micros());
+}
+constexpr Duration operator-(SimTime a, SimTime b) {
+  return Duration(a.micros() - b.micros());
+}
+constexpr Duration operator+(Duration a, Duration b) {
+  return Duration(a.micros() + b.micros());
+}
+constexpr Duration operator-(Duration a, Duration b) {
+  return Duration(a.micros() - b.micros());
+}
+constexpr Duration operator*(Duration d, double k) {
+  return Duration(static_cast<int64_t>(static_cast<double>(d.micros()) * k));
+}
+constexpr Duration operator*(double k, Duration d) { return d * k; }
+constexpr double operator/(Duration a, Duration b) {
+  return static_cast<double>(a.micros()) / static_cast<double>(b.micros());
+}
+
+inline std::ostream& operator<<(std::ostream& os, SimTime t) {
+  return os << t.ToSeconds() << "s";
+}
+inline std::ostream& operator<<(std::ostream& os, Duration d) {
+  return os << d.ToSeconds() << "s";
+}
+
+}  // namespace omega
+
+#endif  // OMEGA_SRC_COMMON_SIM_TIME_H_

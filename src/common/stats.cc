@@ -1,0 +1,181 @@
+#include "src/common/stats.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <sstream>
+
+namespace omega {
+
+void RunningStats::Add(double x) {
+  if (count_ == 0) {
+    min_ = x;
+    max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++count_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+}
+
+void RunningStats::Merge(const RunningStats& other) {
+  if (other.count_ == 0) {
+    return;
+  }
+  if (count_ == 0) {
+    *this = other;
+    return;
+  }
+  const double delta = other.mean_ - mean_;
+  const auto n1 = static_cast<double>(count_);
+  const auto n2 = static_cast<double>(other.count_);
+  const double n = n1 + n2;
+  mean_ += delta * n2 / n;
+  m2_ += other.m2_ + delta * delta * n1 * n2 / n;
+  count_ += other.count_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+double RunningStats::variance() const {
+  if (count_ < 2) {
+    return 0.0;
+  }
+  return m2_ / static_cast<double>(count_);
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+double Percentile(std::vector<double> values, double q) {
+  if (values.empty()) {
+    return 0.0;
+  }
+  q = std::clamp(q, 0.0, 1.0);
+  std::sort(values.begin(), values.end());
+  const double pos = q * static_cast<double>(values.size() - 1);
+  const auto lo = static_cast<size_t>(pos);
+  const size_t hi = std::min(lo + 1, values.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return values[lo] + frac * (values[hi] - values[lo]);
+}
+
+double Median(std::vector<double> values) { return Percentile(std::move(values), 0.5); }
+
+double MedianAbsoluteDeviation(std::vector<double> values) {
+  if (values.empty()) {
+    return 0.0;
+  }
+  const double med = Median(values);
+  for (double& v : values) {
+    v = std::abs(v - med);
+  }
+  return Median(std::move(values));
+}
+
+void Cdf::AddN(double x, int64_t n) {
+  for (int64_t i = 0; i < n; ++i) {
+    values_.push_back(x);
+  }
+  sorted_ = false;
+}
+
+void Cdf::EnsureSorted() const {
+  if (!sorted_) {
+    std::sort(values_.begin(), values_.end());
+    sorted_ = true;
+  }
+}
+
+double Cdf::FractionAtOrBelow(double x) const {
+  if (values_.empty()) {
+    return 0.0;
+  }
+  EnsureSorted();
+  auto it = std::upper_bound(values_.begin(), values_.end(), x);
+  return static_cast<double>(it - values_.begin()) /
+         static_cast<double>(values_.size());
+}
+
+double Cdf::Quantile(double q) const {
+  EnsureSorted();
+  return Percentile(values_, q);  // values_ already sorted; Percentile re-sorts, fine.
+}
+
+double Cdf::MinValue() const {
+  EnsureSorted();
+  return values_.empty() ? 0.0 : values_.front();
+}
+
+double Cdf::MaxValue() const {
+  EnsureSorted();
+  return values_.empty() ? 0.0 : values_.back();
+}
+
+double Cdf::MeanValue() const {
+  if (values_.empty()) {
+    return 0.0;
+  }
+  double sum = 0.0;
+  for (double v : values_) {
+    sum += v;
+  }
+  return sum / static_cast<double>(values_.size());
+}
+
+std::vector<double> Cdf::Evaluate(const std::vector<double>& points) const {
+  std::vector<double> out;
+  out.reserve(points.size());
+  for (double p : points) {
+    out.push_back(FractionAtOrBelow(p));
+  }
+  return out;
+}
+
+std::string Cdf::ToTable(const std::string& value_label, int num_points,
+                         bool log_spaced) const {
+  std::ostringstream os;
+  os << value_label << "\tCDF\n";
+  if (values_.empty() || num_points < 2) {
+    return os.str();
+  }
+  EnsureSorted();
+  double lo = values_.front();
+  double hi = values_.back();
+  if (log_spaced) {
+    lo = std::max(lo, 1e-9);
+    hi = std::max(hi, lo * (1.0 + 1e-9));
+  }
+  for (int i = 0; i < num_points; ++i) {
+    const double frac = static_cast<double>(i) / (num_points - 1);
+    double x = 0.0;
+    if (log_spaced) {
+      x = lo * std::pow(hi / lo, frac);
+    } else {
+      x = lo + frac * (hi - lo);
+    }
+    os << x << "\t" << FractionAtOrBelow(x) << "\n";
+  }
+  return os.str();
+}
+
+Histogram::Histogram(double lo, double hi, size_t bins)
+    : lo_(lo), hi_(hi), width_((hi - lo) / static_cast<double>(bins)), counts_(bins, 0) {
+  assert(hi > lo);
+  assert(bins > 0);
+}
+
+void Histogram::Add(double x) {
+  auto idx = static_cast<int64_t>((x - lo_) / width_);
+  idx = std::clamp<int64_t>(idx, 0, static_cast<int64_t>(counts_.size()) - 1);
+  ++counts_[static_cast<size_t>(idx)];
+  ++total_;
+}
+
+double Histogram::BucketLow(size_t i) const { return lo_ + width_ * static_cast<double>(i); }
+
+double Histogram::BucketHigh(size_t i) const { return BucketLow(i) + width_; }
+
+}  // namespace omega

@@ -1,0 +1,109 @@
+// Statistics utilities for experiment metrics.
+//
+// The paper reports medians of per-day values with median-absolute-deviation
+// (MAD) error bars, overall means for wait times, percentiles (90th, 80th),
+// and empirical CDFs. These helpers implement all of those plus streaming
+// moments for workload characterization.
+#ifndef OMEGA_SRC_COMMON_STATS_H_
+#define OMEGA_SRC_COMMON_STATS_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace omega {
+
+// Streaming mean/variance/min/max (Welford's algorithm).
+class RunningStats {
+ public:
+  void Add(double x);
+  void Merge(const RunningStats& other);
+
+  int64_t count() const { return count_; }
+  double mean() const { return count_ > 0 ? mean_ : 0.0; }
+  double min() const { return min_; }
+  double max() const { return max_; }
+  double sum() const { return mean_ * static_cast<double>(count_); }
+  // Population variance; 0 for fewer than two samples.
+  double variance() const;
+  double stddev() const;
+
+ private:
+  int64_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+// Exact percentile of a sample set (linear interpolation between order
+// statistics). `q` in [0, 1]. Returns 0 for an empty sample.
+double Percentile(std::vector<double> values, double q);
+
+// Median (50th percentile).
+double Median(std::vector<double> values);
+
+// Median absolute deviation from the median: a robust dispersion estimator,
+// used for the error bars in Figures 6-9.
+double MedianAbsoluteDeviation(std::vector<double> values);
+
+// An empirical cumulative distribution function over collected samples.
+class Cdf {
+ public:
+  void Add(double x) {
+    values_.push_back(x);
+    sorted_ = false;
+  }
+  void AddN(double x, int64_t n);
+
+  size_t count() const { return values_.size(); }
+  bool empty() const { return values_.empty(); }
+
+  // Fraction of samples <= x.
+  double FractionAtOrBelow(double x) const;
+  // Value at quantile q in [0, 1].
+  double Quantile(double q) const;
+
+  double MinValue() const;
+  double MaxValue() const;
+  double MeanValue() const;
+
+  // Evaluates the CDF at `points` x-values; returns fractions.
+  std::vector<double> Evaluate(const std::vector<double>& points) const;
+
+  // Renders a fixed-width table of (x, F(x)) rows at logarithmically spaced
+  // points between min and max; used by the figure benches.
+  std::string ToTable(const std::string& value_label, int num_points = 12,
+                      bool log_spaced = true) const;
+
+ private:
+  void EnsureSorted() const;
+
+  mutable std::vector<double> values_;
+  mutable bool sorted_ = false;
+};
+
+// Fixed-width histogram over [lo, hi) with `bins` buckets; out-of-range
+// samples are clamped into the first/last bucket.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, size_t bins);
+
+  void Add(double x);
+  int64_t TotalCount() const { return total_; }
+  int64_t BucketCount(size_t i) const { return counts_.at(i); }
+  size_t NumBuckets() const { return counts_.size(); }
+  double BucketLow(size_t i) const;
+  double BucketHigh(size_t i) const;
+
+ private:
+  double lo_;
+  double hi_;
+  double width_;
+  std::vector<int64_t> counts_;
+  int64_t total_ = 0;
+};
+
+}  // namespace omega
+
+#endif  // OMEGA_SRC_COMMON_STATS_H_

@@ -1,0 +1,101 @@
+#include "src/hifi/scoring_placer.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+namespace omega {
+
+ScoringPlacer::ScoringPlacer(ScoringPlacerOptions options) : options_(options) {}
+
+uint32_t ScoringPlacer::PlaceTasks(const CellState& cell, const Job& job,
+                                   uint32_t count, Rng& rng,
+                                   std::vector<TaskClaim>* claims) {
+  const uint32_t num_machines = cell.NumMachines();
+  if (num_machines == 0 || count == 0) {
+    return 0;
+  }
+  PendingClaims pending;
+  std::unordered_set<int32_t> domains_used;
+  uint32_t placed = 0;
+
+  for (uint32_t t = 0; t < count; ++t) {
+    MachineId best = kInvalidMachineId;
+    double best_score = -1.0;
+
+    // Sample candidates; fall back to a full scan if sampling finds nothing
+    // (constrained jobs on a nearly full cell).
+    auto consider = [&](MachineId m) -> bool {
+      const Machine& machine = cell.machine(m);
+      if (!MachineSatisfiesConstraints(machine, job)) {
+        return false;
+      }
+      const Resources extra = pending.On(m);
+      if (!cell.CanFitWithPending(m, job.task_resources, extra)) {
+        return false;
+      }
+      // Best-fit term: utilization of the machine after placement, in the
+      // dominant dimension. Scoring the fullest feasible machine packs tightly
+      // and leaves large holes for big tasks.
+      const Resources after = machine.allocated + extra + job.task_resources;
+      const Resources usable = cell.UsableCapacity(m);
+      const double fit = std::max(
+          usable.cpus > 0.0 ? after.cpus / usable.cpus : 0.0,
+          usable.mem_gb > 0.0 ? after.mem_gb / usable.mem_gb : 0.0);
+      // Spreading term: reward failure domains this job does not occupy yet.
+      const double spread = domains_used.contains(machine.failure_domain) ? 0.0 : 1.0;
+      const double score =
+          options_.best_fit_weight * fit + options_.spreading_weight * spread;
+      if (score > best_score) {
+        best_score = score;
+        best = m;
+      }
+      return true;
+    };
+
+    if (cell.HasAvailabilityIndex()) {
+      // Global best-fit via the availability index: visit machines from the
+      // tightest feasible bucket upward; the first feasible candidates are the
+      // globally best-packing choices, which is exactly why careful placement
+      // algorithms concentrate onto the same machines and conflict (§5).
+      uint32_t feasible = 0;
+      uint32_t visited = 0;
+      const uint32_t max_feasible = std::max(1u, options_.candidate_sample / 8);
+      const uint32_t max_visited = options_.candidate_sample * 4;
+      cell.VisitByAvailability(job.task_resources, [&](MachineId m) {
+        ++visited;
+        if (consider(m)) {
+          ++feasible;
+        }
+        if (feasible >= max_feasible) {
+          return false;  // enough tight candidates scored
+        }
+        // Past the visit budget, keep walking only until something feasible
+        // turns up (memory-bound or constrained tasks may need to reach
+        // looser buckets); a full walk happens only when nothing fits at all.
+        return feasible == 0 || visited < max_visited;
+      });
+    } else {
+      const uint32_t samples = std::min(options_.candidate_sample, num_machines);
+      for (uint32_t i = 0; i < samples; ++i) {
+        consider(static_cast<MachineId>(rng.NextBounded(num_machines)));
+      }
+      if (best == kInvalidMachineId) {
+        const auto start = static_cast<MachineId>(rng.NextBounded(num_machines));
+        for (uint32_t i = 0; i < num_machines && best == kInvalidMachineId; ++i) {
+          consider((start + i) % num_machines);
+        }
+      }
+    }
+    if (best == kInvalidMachineId) {
+      break;
+    }
+    claims->push_back(
+        TaskClaim{best, job.task_resources, cell.machine(best).seqnum});
+    pending.Add(best, job.task_resources);
+    domains_used.insert(cell.machine(best).failure_domain);
+    ++placed;
+  }
+  return placed;
+}
+
+}  // namespace omega

@@ -1,0 +1,44 @@
+// Constraint-aware scoring placement ("Google algorithm" stand-in, §5).
+//
+// SUBSTITUTION NOTE (DESIGN.md §2): the paper's high-fidelity simulator reuses
+// Google's production scheduling code, which is proprietary. This placer
+// reproduces its observable properties that matter to the §5 experiments:
+//  - it respects task placement constraints (machines are filtered by the
+//    job's attribute predicates), so picky jobs are genuinely hard to place;
+//  - it makes *careful* placements by scoring candidates: best-fit packing
+//    plus failure-domain spreading, which concentrates many schedulers'
+//    choices onto the same attractive machines and thereby produces the
+//    higher conflict rates the paper reports for the high-fidelity simulator;
+//  - its cost is modeled by the same t_job + t_task * tasks linear model.
+#ifndef OMEGA_SRC_HIFI_SCORING_PLACER_H_
+#define OMEGA_SRC_HIFI_SCORING_PLACER_H_
+
+#include "src/scheduler/placement.h"
+
+namespace omega {
+
+struct ScoringPlacerOptions {
+  // Number of candidate machines examined per task (power-of-k-choices
+  // sampling keeps placement cost bounded on large cells).
+  uint32_t candidate_sample = 64;
+  // Weight of the best-fit packing term (prefer fuller machines).
+  double best_fit_weight = 1.0;
+  // Weight of the failure-domain spreading term (prefer domains the job does
+  // not use yet, to resist coordinated failures).
+  double spreading_weight = 0.25;
+};
+
+class ScoringPlacer final : public TaskPlacer {
+ public:
+  explicit ScoringPlacer(ScoringPlacerOptions options = {});
+
+  uint32_t PlaceTasks(const CellState& cell, const Job& job, uint32_t count,
+                      Rng& rng, std::vector<TaskClaim>* claims) override;
+
+ private:
+  ScoringPlacerOptions options_;
+};
+
+}  // namespace omega
+
+#endif  // OMEGA_SRC_HIFI_SCORING_PLACER_H_

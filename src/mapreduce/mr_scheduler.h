@@ -1,0 +1,73 @@
+// Specialized MapReduce scheduler (§6).
+//
+// A scheduler that opportunistically uses idle cluster resources to speed up
+// MapReduce jobs: it observes overall utilization (possible because Omega
+// exposes the entire cell state to every scheduler), predicts the benefit of
+// scaling up each job with the performance model, apportions idle resources
+// per the configured policy, and places the chosen number of workers through
+// ordinary optimistic transactions.
+#ifndef OMEGA_SRC_MAPREDUCE_MR_SCHEDULER_H_
+#define OMEGA_SRC_MAPREDUCE_MR_SCHEDULER_H_
+
+#include <memory>
+#include <vector>
+
+#include "src/mapreduce/policy.h"
+#include "src/omega/omega_scheduler.h"
+#include "src/scheduler/queue_scheduler.h"
+
+namespace omega {
+
+// Per-job decision of the MapReduce scheduler, recorded when the policy
+// chooses the worker count: the *potential* speedup of Fig. 15.
+struct MapReduceOutcome {
+  JobId job = 0;
+  int64_t requested_workers = 0;
+  // Workers the policy chose (>= requested; placement may still fall short if
+  // the cell fills before the job lands).
+  int64_t granted_workers = 0;
+  double predicted_speedup = 1.0;
+};
+
+class MapReduceScheduler final : public QueueScheduler {
+ public:
+  MapReduceScheduler(ClusterSimulation& harness, SchedulerConfig config, Rng rng,
+                     MapReducePolicyOptions policy);
+
+  const std::vector<MapReduceOutcome>& outcomes() const { return outcomes_; }
+
+ protected:
+  void BeginAttempt(const JobPtr& job) override;
+
+ private:
+  RandomizedFirstFitPlacer placer_;
+  Rng rng_;
+  MapReducePolicyOptions policy_;
+  std::vector<MapReduceOutcome> outcomes_;
+};
+
+// Omega simulation with an additional specialized MapReduce scheduler. Batch
+// jobs carrying a MapReduceSpec are routed to it; everything else goes to the
+// regular batch/service schedulers.
+class MapReduceSimulation final : public ClusterSimulation {
+ public:
+  MapReduceSimulation(const ClusterConfig& config, const SimOptions& options,
+                      const SchedulerConfig& batch_config,
+                      const SchedulerConfig& service_config,
+                      const MapReducePolicyOptions& policy);
+
+  void SubmitJob(const JobPtr& job) override;
+
+  MapReduceScheduler& mr_scheduler() { return *mr_scheduler_; }
+  OmegaScheduler& batch_scheduler() { return *batch_scheduler_; }
+  OmegaScheduler& service_scheduler() { return *service_scheduler_; }
+
+ private:
+  std::unique_ptr<OmegaScheduler> batch_scheduler_;
+  std::unique_ptr<OmegaScheduler> service_scheduler_;
+  std::unique_ptr<MapReduceScheduler> mr_scheduler_;
+};
+
+}  // namespace omega
+
+#endif  // OMEGA_SRC_MAPREDUCE_MR_SCHEDULER_H_

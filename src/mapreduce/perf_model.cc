@@ -1,0 +1,41 @@
+#include "src/mapreduce/perf_model.h"
+
+#include <algorithm>
+
+#include "src/common/logging.h"
+
+namespace omega {
+
+Duration PredictCompletionTime(const MapReduceSpec& spec, int64_t workers) {
+  OMEGA_CHECK(workers >= 1);
+  // Map phase completes before reducers start (mapper/reducer dependency);
+  // each phase runs ceil(activities / workers) waves of its activity
+  // duration. Workers beyond the activity count of a phase are idle in it.
+  auto waves = [](int64_t activities, int64_t w) {
+    if (activities <= 0) {
+      return static_cast<int64_t>(0);
+    }
+    return (activities + w - 1) / w;
+  };
+  const int64_t map_waves = waves(spec.num_map_activities, workers);
+  const int64_t reduce_waves = waves(spec.num_reduce_activities, workers);
+  return spec.map_activity_duration * static_cast<double>(map_waves) +
+         spec.reduce_activity_duration * static_cast<double>(reduce_waves);
+}
+
+int64_t MaxBeneficialWorkers(const MapReduceSpec& spec) {
+  return std::max<int64_t>(
+      1, std::max(spec.num_map_activities, spec.num_reduce_activities));
+}
+
+double PredictSpeedup(const MapReduceSpec& spec, int64_t workers) {
+  const int64_t baseline = std::max<int64_t>(1, spec.requested_workers);
+  const Duration t0 = PredictCompletionTime(spec, baseline);
+  const Duration t1 = PredictCompletionTime(spec, workers);
+  if (t1.micros() <= 0) {
+    return 1.0;
+  }
+  return t0 / t1;
+}
+
+}  // namespace omega

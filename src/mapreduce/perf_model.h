@@ -1,0 +1,30 @@
+// MapReduce job performance model (§6.1).
+//
+// Deliberately simple, as in the paper: adding workers yields an idealized
+// linear speedup (modulo the dependency between mappers and reducers), up to
+// the point where all map activities, and all reduce activities respectively,
+// run in parallel.
+#ifndef OMEGA_SRC_MAPREDUCE_PERF_MODEL_H_
+#define OMEGA_SRC_MAPREDUCE_PERF_MODEL_H_
+
+#include <cstdint>
+
+#include "src/common/sim_time.h"
+#include "src/workload/job.h"
+
+namespace omega {
+
+// Predicted completion time of `spec` with `workers` workers.
+Duration PredictCompletionTime(const MapReduceSpec& spec, int64_t workers);
+
+// Largest worker count beyond which adding workers yields no further benefit
+// (all map and reduce activities already run fully parallel).
+int64_t MaxBeneficialWorkers(const MapReduceSpec& spec);
+
+// Predicted speedup of running with `workers` relative to the user-requested
+// worker count.
+double PredictSpeedup(const MapReduceSpec& spec, int64_t workers);
+
+}  // namespace omega
+
+#endif  // OMEGA_SRC_MAPREDUCE_PERF_MODEL_H_

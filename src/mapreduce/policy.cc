@@ -1,0 +1,124 @@
+#include "src/mapreduce/policy.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/common/logging.h"
+#include "src/mapreduce/perf_model.h"
+
+namespace omega {
+
+const char* MapReducePolicyName(MapReducePolicy policy) {
+  switch (policy) {
+    case MapReducePolicy::kNone:
+      return "none";
+    case MapReducePolicy::kMaxParallelism:
+      return "max-parallelism";
+    case MapReducePolicy::kGlobalCap:
+      return "global-cap";
+    case MapReducePolicy::kRelativeJobSize:
+      return "relative-job-size";
+  }
+  return "?";
+}
+
+namespace {
+
+// Workers that can be built from the cell's idle resources (beyond the
+// requested ones, which the job would have claimed anyway).
+int64_t IdleWorkerCapacity(const CellState& cell, const Resources& per_worker) {
+  const Resources idle = cell.TotalAvailable();
+  const double by_cpu =
+      per_worker.cpus > 0.0 ? idle.cpus / per_worker.cpus : 1e18;
+  const double by_mem =
+      per_worker.mem_gb > 0.0 ? idle.mem_gb / per_worker.mem_gb : 1e18;
+  return static_cast<int64_t>(std::max(0.0, std::floor(std::min(by_cpu, by_mem))));
+}
+
+}  // namespace
+
+int64_t ChooseWorkers(const MapReducePolicyOptions& options, const Job& job,
+                      const CellState& cell) {
+  OMEGA_CHECK(job.mapreduce.has_value());
+  const MapReduceSpec& spec = *job.mapreduce;
+  const int64_t requested = std::max<int64_t>(1, spec.requested_workers);
+  if (options.policy == MapReducePolicy::kNone) {
+    return requested;
+  }
+
+  // Upper bound on extra workers under the policy.
+  int64_t cap = MaxBeneficialWorkers(spec);
+  switch (options.policy) {
+    case MapReducePolicy::kMaxParallelism:
+      break;  // only bounded by benefit and idle resources
+    case MapReducePolicy::kGlobalCap: {
+      // Opportunistic resources are only used while total utilization stays
+      // below the target; above it, the job gets what it asked for.
+      if (cell.MaxUtilization() >= options.global_cap_utilization) {
+        return requested;
+      }
+      // Allow growth only up to the utilization ceiling.
+      const Resources total = cell.TotalCapacity();
+      const Resources allocated = cell.TotalAllocated();
+      const double cpu_room =
+          options.global_cap_utilization * total.cpus - allocated.cpus;
+      const double mem_room =
+          options.global_cap_utilization * total.mem_gb - allocated.mem_gb;
+      const double by_cpu = job.task_resources.cpus > 0.0
+                                ? cpu_room / job.task_resources.cpus
+                                : 1e18;
+      const double by_mem = job.task_resources.mem_gb > 0.0
+                                ? mem_room / job.task_resources.mem_gb
+                                : 1e18;
+      const auto room_workers = static_cast<int64_t>(
+          std::max(0.0, std::floor(std::min(by_cpu, by_mem))));
+      cap = std::min(cap, requested + room_workers);
+      break;
+    }
+    case MapReducePolicy::kRelativeJobSize:
+      cap = std::min(cap, static_cast<int64_t>(std::llround(
+                              options.relative_size_multiplier *
+                              static_cast<double>(requested))));
+      break;
+    case MapReducePolicy::kNone:
+      break;
+  }
+  cap = std::min(cap, requested + IdleWorkerCapacity(cell, job.task_resources));
+  cap = std::max(cap, requested);
+
+  // Run the candidate allocations through the predictive model (§6.1) and
+  // pick the earliest finish; prefer fewer workers on ties. Completion time
+  // is monotone non-increasing in workers but plateaus between wave counts,
+  // so scan geometrically then refine around the best.
+  int64_t best_workers = requested;
+  Duration best_time = PredictCompletionTime(spec, requested);
+  for (int64_t w = requested; w <= cap;
+       w = std::max(w + 1, static_cast<int64_t>(
+                               std::llround(static_cast<double>(w) * 1.25)))) {
+    const Duration t = PredictCompletionTime(spec, w);
+    if (t < best_time) {
+      best_time = t;
+      best_workers = w;
+    }
+  }
+  const Duration cap_time = PredictCompletionTime(spec, cap);
+  if (cap_time < best_time) {
+    best_time = cap_time;
+    best_workers = cap;
+  }
+  // Shrink to the smallest worker count achieving the best time (avoids
+  // hoarding workers that only idle).
+  int64_t lo = requested;
+  int64_t hi = best_workers;
+  while (lo < hi) {
+    const int64_t mid = lo + (hi - lo) / 2;
+    if (PredictCompletionTime(spec, mid) <= best_time) {
+      hi = mid;
+    } else {
+      lo = mid + 1;
+    }
+  }
+  return lo;
+}
+
+}  // namespace omega

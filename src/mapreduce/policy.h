@@ -1,0 +1,49 @@
+// Resource policies for the opportunistic MapReduce scheduler (§6.1).
+//
+// Three policies from the paper:
+//  - max-parallelism: keep adding workers as long as benefit is obtained;
+//  - global cap: stop using idle resources once total cluster utilization
+//    exceeds a target (60% in the paper's evaluation);
+//  - relative job size: at most 4x the workers the job initially requested.
+// In each case candidate allocations are run through the predictive model and
+// the one with the earliest finish time is chosen.
+#ifndef OMEGA_SRC_MAPREDUCE_POLICY_H_
+#define OMEGA_SRC_MAPREDUCE_POLICY_H_
+
+#include <cstdint>
+#include <string>
+
+#include "src/cluster/cell_state.h"
+#include "src/workload/job.h"
+
+namespace omega {
+
+enum class MapReducePolicy {
+  kNone,             // baseline: exactly the requested workers
+  kMaxParallelism,
+  kGlobalCap,
+  kRelativeJobSize,
+};
+
+const char* MapReducePolicyName(MapReducePolicy policy);
+
+struct MapReducePolicyOptions {
+  MapReducePolicy policy = MapReducePolicy::kNone;
+  // Utilization ceiling for the global-cap policy (§6.2: set at 60%).
+  double global_cap_utilization = 0.6;
+  // Multiplier for the relative-job-size policy (§6.1: four times).
+  double relative_size_multiplier = 4.0;
+};
+
+// Chooses the worker count for `job` (which must carry a MapReduceSpec) given
+// the current cluster state. Evaluates candidate allocations through the
+// predictive model and returns the count with the earliest finish time,
+// preferring fewer workers on ties. Never returns less than the requested
+// worker count and never more than the cluster can supply from idle
+// resources.
+int64_t ChooseWorkers(const MapReducePolicyOptions& options, const Job& job,
+                      const CellState& cell);
+
+}  // namespace omega
+
+#endif  // OMEGA_SRC_MAPREDUCE_POLICY_H_

@@ -1,0 +1,316 @@
+#include "src/mesos/mesos_simulation.h"
+
+#include <algorithm>
+
+#include "src/common/logging.h"
+
+namespace omega {
+
+// ---------------------------------------------------------------------------
+// MesosFramework
+
+MesosFramework::MesosFramework(MesosSimulation& sim, SchedulerConfig config,
+                               JobType type)
+    : sim_(sim), config_(std::move(config)), type_(type) {}
+
+void MesosFramework::Submit(const JobPtr& job) {
+  queue_.push_back(job);
+  sim_.allocator().Trigger();
+}
+
+void MesosFramework::HandleOffer(ResourceOffer offer) {
+  OMEGA_CHECK(!busy_);
+  OMEGA_CHECK(!queue_.empty());
+  JobPtr job = std::move(queue_.front());
+  queue_.pop_front();
+  busy_ = true;
+
+  const SimTime now = sim_.sim().Now();
+  if (!job->first_attempt_time.has_value()) {
+    job->first_attempt_time = now;
+    metrics_.RecordJobWait(job->type, now - job->submit_time);
+  }
+  ++job->scheduling_attempts;
+
+  const uint32_t remaining = job->TasksRemaining();
+  Duration decision = config_.TimesFor(job->type).ForTasks(remaining);
+  if (decision.micros() <= 0) {
+    decision = Duration(1);
+  }
+  metrics_.AddBusyInterval(now, now + decision);
+
+  // The framework only sees the offered resources — not the whole cell
+  // ("restricted visibility", §3.3/§3.4). Place tasks greedily onto offer
+  // slices; the claims are guaranteed to commit because the resources are
+  // locked for this framework while the offer is outstanding.
+  std::vector<TaskClaim> claims;
+  claims.reserve(std::min<uint32_t>(remaining, 1024));
+  uint32_t placed = 0;
+  for (OfferSlice& slice : offer.slices) {
+    while (placed < remaining && job->task_resources.FitsIn(slice.resources)) {
+      slice.resources -= job->task_resources;
+      claims.push_back(TaskClaim{slice.machine, job->task_resources, 0});
+      ++placed;
+    }
+    if (placed == remaining) {
+      break;
+    }
+  }
+
+  sim_.sim().ScheduleAfter(decision, [this, job, offer = std::move(offer),
+                                      claims = std::move(claims)]() mutable {
+    FinishAttempt(job, std::move(offer), std::move(claims));
+  });
+}
+
+void MesosFramework::FinishAttempt(const JobPtr& job, ResourceOffer offer,
+                                   std::vector<TaskClaim> claims) {
+  // Commit the placed tasks. These cannot conflict: the offered resources were
+  // locked (pessimistic concurrency).
+  const CommitResult result = sim_.cell().Commit(
+      claims, ConflictMode::kFineGrained, CommitMode::kIncremental);
+  OMEGA_CHECK(result.conflicted == 0)
+      << "offer-locked resources must commit cleanly";
+  metrics_.RecordTransaction(result.accepted, 0);
+
+  Resources used;
+  for (const TaskClaim& c : claims) {
+    used += c.resources;
+  }
+  const bool gang_by_hoarding = config_.commit_mode == CommitMode::kAllOrNothing;
+  const bool completes_job =
+      job->TasksRemaining() == static_cast<uint32_t>(result.accepted);
+  if (!claims.empty()) {
+    sim_.allocator().OnResourcesAllocated(this, used);
+    sim_.allocator().OnOfferResourcesUsed(claims);
+    if (gang_by_hoarding && !completes_job) {
+      // Hoard: the resources stay allocated (and thus idle) until the whole
+      // job can start together.
+      auto& hoard = hoards_[job->id];
+      hoard.insert(hoard.end(), claims.begin(), claims.end());
+    } else {
+      if (gang_by_hoarding) {
+        // The gang is complete: release nothing, start the hoarded tasks
+        // alongside this final batch of claims.
+        auto it = hoards_.find(job->id);
+        if (it != hoards_.end()) {
+          claims.insert(claims.end(), it->second.begin(), it->second.end());
+          hoards_.erase(it);
+        }
+      }
+      sim_.StartTasks(*job, claims, [this](const TaskClaim& claim) {
+        sim_.allocator().OnResourcesFreed(this, claim.resources);
+      });
+    }
+  }
+
+  // Return the unused remainder of the offer to the allocator (§4.2:
+  // "Resources not used at the end of scheduling a job are returned").
+  // `offer.slices` was decremented in place while placing tasks, so it now
+  // holds exactly the unused portions.
+  sim_.allocator().ReturnOffer(offer);
+
+  job->tasks_scheduled += static_cast<uint32_t>(result.accepted);
+  busy_ = false;
+
+  const SimTime now = sim_.sim().Now();
+  if (job->FullyScheduled()) {
+    metrics_.RecordJobScheduled(now, job->type, job->scheduling_attempts,
+                                job->conflicted_attempts);
+  } else if (job->scheduling_attempts >= config_.max_attempts) {
+    job->abandoned = true;
+    metrics_.RecordJobAbandoned(job->type);
+    ReleaseHoard(job);  // break any hoarding deadlock
+  } else {
+    // Keep trying: the job returns to the head of the queue and waits for the
+    // next offer (§4.2: "It nonetheless keeps trying").
+    queue_.push_front(job);
+  }
+  sim_.allocator().Trigger();
+}
+
+void MesosFramework::ReleaseHoard(const JobPtr& job) {
+  auto it = hoards_.find(job->id);
+  if (it == hoards_.end()) {
+    return;
+  }
+  for (const TaskClaim& claim : it->second) {
+    sim_.cell().Free(claim.machine, claim.resources);
+    sim_.allocator().OnResourcesFreed(this, claim.resources);
+  }
+  // The placed-task count no longer reflects running tasks; reset so the
+  // abandoned job's accounting stays consistent.
+  job->tasks_scheduled -= static_cast<uint32_t>(it->second.size());
+  hoards_.erase(it);
+}
+
+Resources MesosFramework::HoardedResources() const {
+  Resources total;
+  for (const auto& [id, claims] : hoards_) {
+    for (const TaskClaim& claim : claims) {
+      total += claim.resources;
+    }
+  }
+  return total;
+}
+
+// ---------------------------------------------------------------------------
+// MesosAllocator
+
+MesosAllocator::MesosAllocator(MesosSimulation& sim, Duration decision_time,
+                               Duration min_round_interval)
+    : sim_(sim),
+      decision_time_(decision_time),
+      min_round_interval_(min_round_interval) {}
+
+void MesosAllocator::RegisterFramework(MesosFramework* framework) {
+  frameworks_.push_back(framework);
+  allocated_.push_back(Resources::Zero());
+  if (offered_.empty()) {
+    offered_.assign(sim_.cell().NumMachines(), Resources::Zero());
+  }
+}
+
+double MesosAllocator::DominantShare(const MesosFramework* framework) const {
+  for (size_t i = 0; i < frameworks_.size(); ++i) {
+    if (frameworks_[i] == framework) {
+      return allocated_[i].DominantShare(sim_.cell().TotalCapacity());
+    }
+  }
+  return 0.0;
+}
+
+MesosFramework* MesosAllocator::PickFramework() {
+  MesosFramework* best = nullptr;
+  double best_share = 0.0;
+  for (size_t i = 0; i < frameworks_.size(); ++i) {
+    if (!frameworks_[i]->IsPending()) {
+      continue;
+    }
+    const double share = allocated_[i].DominantShare(sim_.cell().TotalCapacity());
+    if (best == nullptr || share < best_share) {
+      best = frameworks_[i];
+      best_share = share;
+    }
+  }
+  return best;
+}
+
+void MesosAllocator::Trigger() {
+  if (round_scheduled_) {
+    return;
+  }
+  if (PickFramework() == nullptr) {
+    return;
+  }
+  round_scheduled_ = true;
+  const SimTime now = sim_.sim().Now();
+  SimTime when = now + decision_time_;
+  const SimTime paced = last_round_ + min_round_interval_;
+  if (paced > when) {
+    when = paced;
+  }
+  sim_.sim().ScheduleAt(when, [this] {
+    round_scheduled_ = false;
+    last_round_ = sim_.sim().Now();
+    RunAllocationRound();
+  });
+}
+
+void MesosAllocator::RunAllocationRound() {
+  MesosFramework* framework = PickFramework();
+  if (framework == nullptr) {
+    return;
+  }
+  // Build the offer: every machine's currently unused and unoffered
+  // resources. The simple allocator offers everything available (§3.3 fn 3).
+  ResourceOffer offer;
+  const CellState& cell = sim_.cell();
+  for (MachineId m = 0; m < cell.NumMachines(); ++m) {
+    const Resources available =
+        (cell.machine(m).Available() - offered_[m]).ClampNonNegative();
+    if (available.IsZero()) {
+      continue;
+    }
+    offer.slices.push_back(OfferSlice{m, available});
+    offered_[m] += available;
+  }
+  if (offer.Empty()) {
+    // Nothing to offer right now; a task finish or offer return re-triggers.
+    return;
+  }
+  framework->HandleOffer(std::move(offer));
+  // Other frameworks may still be pending; try to offer whatever remains.
+  Trigger();
+}
+
+void MesosAllocator::OnResourcesAllocated(const MesosFramework* framework,
+                                          const Resources& r) {
+  for (size_t i = 0; i < frameworks_.size(); ++i) {
+    if (frameworks_[i] == framework) {
+      allocated_[i] += r;
+      return;
+    }
+  }
+  OMEGA_CHECK(false) << "unregistered framework";
+}
+
+void MesosAllocator::OnResourcesFreed(const MesosFramework* framework,
+                                      const Resources& r) {
+  for (size_t i = 0; i < frameworks_.size(); ++i) {
+    if (frameworks_[i] == framework) {
+      allocated_[i] -= r;
+      allocated_[i] = allocated_[i].ClampNonNegative();
+      Trigger();
+      return;
+    }
+  }
+  OMEGA_CHECK(false) << "unregistered framework";
+}
+
+void MesosAllocator::OnOfferResourcesUsed(const std::vector<TaskClaim>& claims) {
+  for (const TaskClaim& claim : claims) {
+    offered_[claim.machine] -= claim.resources;
+    offered_[claim.machine] = offered_[claim.machine].ClampNonNegative();
+  }
+}
+
+void MesosAllocator::ReturnOffer(const ResourceOffer& offer) {
+  for (const OfferSlice& slice : offer.slices) {
+    offered_[slice.machine] -= slice.resources;
+    offered_[slice.machine] = offered_[slice.machine].ClampNonNegative();
+  }
+}
+
+Resources MesosAllocator::TotalOffered() const {
+  Resources sum;
+  for (const Resources& r : offered_) {
+    sum += r;
+  }
+  return sum;
+}
+
+// ---------------------------------------------------------------------------
+// MesosSimulation
+
+MesosSimulation::MesosSimulation(const ClusterConfig& config,
+                                 const SimOptions& options,
+                                 const SchedulerConfig& batch_config,
+                                 const SchedulerConfig& service_config)
+    : ClusterSimulation(config, options), allocator_(*this) {
+  batch_ = std::make_unique<MesosFramework>(*this, batch_config, JobType::kBatch);
+  service_ =
+      std::make_unique<MesosFramework>(*this, service_config, JobType::kService);
+  allocator_.RegisterFramework(batch_.get());
+  allocator_.RegisterFramework(service_.get());
+}
+
+void MesosSimulation::SubmitJob(const JobPtr& job) {
+  if (job->type == JobType::kBatch) {
+    batch_->Submit(job);
+  } else {
+    service_->Submit(job);
+  }
+}
+
+}  // namespace omega

@@ -1,0 +1,38 @@
+// Resource offers (two-level scheduling, §3.3).
+#ifndef OMEGA_SRC_MESOS_OFFER_H_
+#define OMEGA_SRC_MESOS_OFFER_H_
+
+#include <vector>
+
+#include "src/cluster/machine.h"
+#include "src/cluster/resources.h"
+
+namespace omega {
+
+// A slice of one machine's currently unused resources, locked for the
+// receiving framework while the offer is outstanding.
+struct OfferSlice {
+  MachineId machine = kInvalidMachineId;
+  Resources resources;
+};
+
+// An offer: the set of per-machine available resources handed to one
+// framework. The Mesos "simple allocator" offers *all* available resources at
+// once and does not limit what a framework may accept (§3.3, footnote 3).
+struct ResourceOffer {
+  std::vector<OfferSlice> slices;
+
+  Resources Total() const {
+    Resources sum;
+    for (const OfferSlice& s : slices) {
+      sum += s.resources;
+    }
+    return sum;
+  }
+
+  bool Empty() const { return slices.empty(); }
+};
+
+}  // namespace omega
+
+#endif  // OMEGA_SRC_MESOS_OFFER_H_

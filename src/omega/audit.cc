@@ -1,0 +1,101 @@
+#include "src/omega/audit.h"
+
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+namespace omega {
+namespace {
+
+int64_t TotalScheduled(const SchedulerMetrics& m) {
+  return m.JobsScheduled(JobType::kBatch) + m.JobsScheduled(JobType::kService);
+}
+
+double OverallMeanWait(const SchedulerMetrics& m) {
+  const int64_t batch = m.JobsWaited(JobType::kBatch);
+  const int64_t service = m.JobsWaited(JobType::kService);
+  const int64_t total = batch + service;
+  if (total == 0) {
+    return 0.0;
+  }
+  return (m.MeanWait(JobType::kBatch) * static_cast<double>(batch) +
+          m.MeanWait(JobType::kService) * static_cast<double>(service)) /
+         static_cast<double>(total);
+}
+
+}  // namespace
+
+SchedulerAuditEntry AuditScheduler(const QueueScheduler& scheduler, SimTime end,
+                                   const AuditPolicy& policy) {
+  const SchedulerMetrics& m = scheduler.metrics();
+  SchedulerAuditEntry entry;
+  entry.scheduler = scheduler.name();
+  entry.jobs_scheduled = TotalScheduled(m);
+  entry.jobs_abandoned = m.JobsAbandonedTotal();
+  entry.tasks_accepted = m.TasksAccepted();
+  entry.tasks_conflicted = m.TasksConflicted();
+  entry.busyness = m.Busyness(end).median;
+  entry.mean_wait_secs = OverallMeanWait(m);
+  entry.conflict_fraction = m.ConflictFraction(end).mean;
+
+  if (entry.mean_wait_secs > policy.wait_slo_secs) {
+    std::ostringstream os;
+    os << "wait-time SLO violated: mean " << entry.mean_wait_secs << "s > "
+       << policy.wait_slo_secs << "s";
+    entry.findings.push_back(os.str());
+  }
+  if (entry.conflict_fraction > policy.max_conflict_fraction) {
+    std::ostringstream os;
+    os << "excessive conflict fraction: " << entry.conflict_fraction << " > "
+       << policy.max_conflict_fraction;
+    entry.findings.push_back(os.str());
+  }
+  const int64_t total_jobs = entry.jobs_scheduled + entry.jobs_abandoned;
+  if (total_jobs > 0) {
+    const double abandoned_fraction =
+        static_cast<double>(entry.jobs_abandoned) / static_cast<double>(total_jobs);
+    if (abandoned_fraction > policy.max_abandoned_fraction) {
+      std::ostringstream os;
+      os << "abandonment above threshold: " << abandoned_fraction * 100.0
+         << "% of jobs";
+      entry.findings.push_back(os.str());
+    }
+  }
+  return entry;
+}
+
+AuditReport AuditSchedulers(const std::vector<const QueueScheduler*>& schedulers,
+                            SimTime end, const AuditPolicy& policy) {
+  AuditReport report;
+  report.entries.reserve(schedulers.size());
+  for (const QueueScheduler* s : schedulers) {
+    report.entries.push_back(AuditScheduler(*s, end, policy));
+  }
+  return report;
+}
+
+bool AuditReport::Compliant() const {
+  for (const SchedulerAuditEntry& e : entries) {
+    if (!e.findings.empty()) {
+      return false;
+    }
+  }
+  return true;
+}
+
+void AuditReport::Print(std::ostream& os) const {
+  os << "post-facto policy audit (" << entries.size() << " schedulers): "
+     << (Compliant() ? "COMPLIANT" : "VIOLATIONS FOUND") << "\n";
+  for (const SchedulerAuditEntry& e : entries) {
+    os << "  " << std::left << std::setw(16) << e.scheduler << " scheduled="
+       << e.jobs_scheduled << " abandoned=" << e.jobs_abandoned
+       << " busyness=" << std::setprecision(3) << e.busyness
+       << " conflict_fraction=" << e.conflict_fraction
+       << " mean_wait=" << e.mean_wait_secs << "s\n";
+    for (const std::string& finding : e.findings) {
+      os << "    !! " << finding << "\n";
+    }
+  }
+}
+
+}  // namespace omega

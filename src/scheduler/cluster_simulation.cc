@@ -1,0 +1,295 @@
+#include "src/scheduler/cluster_simulation.h"
+
+#include "src/common/logging.h"
+#include "src/scheduler/placement.h"
+
+namespace omega {
+
+ClusterSimulation::ClusterSimulation(const ClusterConfig& config,
+                                     const SimOptions& options,
+                                     GeneratorOptions generator_options)
+    : config_(config),
+      options_(options),
+      cell_(BuildMachineCapacities(config), options.fullness,
+            options.headroom_fraction, config.machines_per_failure_domain),
+      generator_(config,
+                 [&] {
+                   GeneratorOptions g = generator_options;
+                   g.batch_rate_multiplier = options.batch_rate_multiplier;
+                   g.service_rate_multiplier = options.service_rate_multiplier;
+                   return g;
+                 }(),
+                 options.seed),
+      rng_(options.seed ^ 0xabcdef1234567890ULL) {
+  if (generator_options.generate_constraints) {
+    MachineAttributeAssignment assignment;
+    assignment.num_attribute_keys = generator_options.num_attribute_keys;
+    assignment.num_attribute_values = generator_options.num_attribute_values;
+    assignment.seed = options.seed ^ 0x5151515151515151ULL;
+    auto attributes = GenerateMachineAttributes(config.num_machines, assignment);
+    for (uint32_t m = 0; m < config.num_machines; ++m) {
+      cell_.mutable_machine(m).attributes = std::move(attributes[m]);
+    }
+  }
+}
+
+void ClusterSimulation::PlaceInitialFill() {
+  // Fill each machine to an independent random target level whose mean is the
+  // configured initial utilization. This reproduces the availability spread
+  // of a live cell (tightly packed machines coexist with nearly empty ones);
+  // a uniform spread fill would leave no machine with room for large tasks.
+  const double target = config_.initial_utilization;
+  const double lo = std::max(0.05, target - 0.45);
+  const double hi = std::min(0.95, target + (target - lo));
+  for (MachineId m = 0; m < cell_.NumMachines(); ++m) {
+    const double machine_target = rng_.NextRange(lo, hi);
+    const Resources cap = cell_.machine(m).capacity;
+    // Bail out of a machine after a few tasks in a row fail to fit.
+    int misses = 0;
+    while (cell_.machine(m).allocated.cpus < machine_target * cap.cpus &&
+           misses < 8) {
+      const WorkloadGenerator::InitialTask task = generator_.SampleInitialTask();
+      if (!cell_.CanFit(m, task.resources)) {
+        ++misses;
+        continue;
+      }
+      cell_.Allocate(m, task.resources);
+      const TaskClaim claim{m, task.resources, 0};
+      const SimTime end = SimTime::Zero() + task.remaining;
+      if (options_.track_running_tasks) {
+        const uint64_t task_id =
+            registry_.Add(m, task.resources, task.precedence, 0);
+        const EventId eid = sim_.ScheduleAt(end, [this, claim, task_id] {
+          registry_.Remove(task_id);
+          cell_.Free(claim.machine, claim.resources);
+          OnTaskFreed();
+        });
+        registry_.SetEndEvent(task_id, eid);
+      } else {
+        sim_.ScheduleAt(end, [this, claim] {
+          cell_.Free(claim.machine, claim.resources);
+          OnTaskFreed();
+        });
+      }
+      misses = 0;
+    }
+  }
+  OMEGA_LOG(kDebug) << "initial fill: cpu=" << cell_.CpuUtilization()
+                    << " mem=" << cell_.MemUtilization();
+}
+
+void ClusterSimulation::CountSubmission(JobType type) {
+  if (type == JobType::kBatch) {
+    ++batch_submitted_;
+  } else {
+    ++service_submitted_;
+  }
+}
+
+void ClusterSimulation::ScheduleNextArrival(JobType type) {
+  const WorkloadParams& params =
+      type == JobType::kBatch ? config_.batch : config_.service;
+  const double multiplier = type == JobType::kBatch
+                                ? options_.batch_rate_multiplier
+                                : options_.service_rate_multiplier;
+  if (multiplier <= 0.0) {
+    return;
+  }
+  ExponentialDist interarrival(params.interarrival_mean_secs / multiplier);
+  const Duration gap = Duration::FromSeconds(interarrival.Sample(rng_));
+  const SimTime when = sim_.Now() + gap;
+  if (when > EndTime()) {
+    return;
+  }
+  sim_.ScheduleAt(when, [this, type] {
+    auto job = std::make_shared<Job>(generator_.GenerateJob(type, sim_.Now()));
+    CountSubmission(type);
+    SubmitJob(job);
+    ScheduleNextArrival(type);
+  });
+}
+
+void ClusterSimulation::ScheduleUtilizationSample() {
+  if (options_.utilization_sample_interval.micros() <= 0) {
+    return;
+  }
+  utilization_series_.push_back(UtilizationSample{
+      sim_.Now().ToHours(), cell_.CpuUtilization(), cell_.MemUtilization()});
+  const SimTime next = sim_.Now() + options_.utilization_sample_interval;
+  if (next > EndTime()) {
+    return;
+  }
+  sim_.ScheduleAt(next, [this] { ScheduleUtilizationSample(); });
+}
+
+void ClusterSimulation::Run() {
+  PlaceInitialFill();
+  OnSimulationStart();
+  ScheduleNextArrival(JobType::kBatch);
+  ScheduleNextArrival(JobType::kService);
+  ScheduleUtilizationSample();
+  ScheduleNextMachineFailure();
+  sim_.RunUntil(EndTime());
+}
+
+void ClusterSimulation::ScheduleNextMachineFailure() {
+  if (options_.machine_failure_rate_per_day <= 0.0) {
+    return;
+  }
+  OMEGA_CHECK(options_.track_running_tasks)
+      << "machine failures require track_running_tasks";
+  // Cluster-wide failures form a Poisson process with rate
+  // machines * per-machine-rate.
+  const double cluster_rate_per_sec = options_.machine_failure_rate_per_day *
+                                      cell_.NumMachines() / 86400.0;
+  ExponentialDist gap(1.0 / cluster_rate_per_sec);
+  const SimTime when = sim_.Now() + Duration::FromSeconds(gap.Sample(rng_));
+  if (when > EndTime()) {
+    return;
+  }
+  sim_.ScheduleAt(when, [this] {
+    FailMachine(static_cast<MachineId>(rng_.NextBounded(cell_.NumMachines())));
+    ScheduleNextMachineFailure();
+  });
+}
+
+void ClusterSimulation::FailMachine(MachineId machine) {
+  if (downtime_reservation_.empty()) {
+    downtime_reservation_.assign(cell_.NumMachines(), Resources::Zero());
+    machine_down_.assign(cell_.NumMachines(), 0);
+  }
+  if (machine_down_[machine] != 0) {
+    return;  // already down
+  }
+  machine_down_[machine] = 1;
+  // Kill every task running on the machine; their work is lost and their
+  // owners observe the failure only through the freed state (the paper notes
+  // failures "only generate a small load on the scheduler").
+  for (const RunningTask& task : registry_.TasksOn(machine)) {
+    sim_.Cancel(task.end_event);
+    registry_.Remove(task.task_id);
+    cell_.Free(task.machine, task.resources);
+    ++tasks_killed_by_failures_;
+  }
+  // Take the machine out of service by reserving all remaining capacity; the
+  // sequence-number bump doubles as the state change other schedulers see.
+  const Resources reservation =
+      (cell_.machine(machine).capacity - cell_.machine(machine).allocated)
+          .ClampNonNegative();
+  if (!reservation.IsZero()) {
+    cell_.Allocate(machine, reservation);
+  }
+  downtime_reservation_[machine] = reservation;
+  ++machine_failures_;
+  ++machines_down_;
+  sim_.ScheduleAt(sim_.Now() + options_.machine_repair_time, [this, machine] {
+    if (!downtime_reservation_[machine].IsZero()) {
+      cell_.Free(machine, downtime_reservation_[machine]);
+      downtime_reservation_[machine] = Resources::Zero();
+    }
+    machine_down_[machine] = 0;
+    --machines_down_;
+    OnTaskFreed();
+  });
+}
+
+void ClusterSimulation::RunTrace(std::vector<Job> trace) {
+  PlaceInitialFill();
+  OnSimulationStart();
+  for (Job& job : trace) {
+    if (job.submit_time > EndTime()) {
+      continue;
+    }
+    auto ptr = std::make_shared<Job>(std::move(job));
+    sim_.ScheduleAt(ptr->submit_time, [this, ptr] {
+      CountSubmission(ptr->type);
+      SubmitJob(ptr);
+    });
+  }
+  ScheduleUtilizationSample();
+  sim_.RunUntil(EndTime());
+}
+
+void ClusterSimulation::StartTasks(const Job& job,
+                                   std::span<const TaskClaim> claims,
+                                   std::function<void(const TaskClaim&)> on_task_end) {
+  for (const TaskClaim& claim : claims) {
+    const SimTime end = sim_.Now() + job.task_duration;
+    if (options_.track_running_tasks) {
+      const uint64_t task_id =
+          registry_.Add(claim.machine, claim.resources, job.precedence, 0);
+      const EventId eid =
+          sim_.ScheduleAt(end, [this, claim, task_id, on_task_end] {
+            if (on_task_end != nullptr) {
+              on_task_end(claim);
+            }
+            registry_.Remove(task_id);
+            cell_.Free(claim.machine, claim.resources);
+            OnTaskFreed();
+          });
+      registry_.SetEndEvent(task_id, eid);
+    } else if (on_task_end == nullptr) {
+      sim_.ScheduleAt(end, [this, claim] {
+        cell_.Free(claim.machine, claim.resources);
+        OnTaskFreed();
+      });
+    } else {
+      sim_.ScheduleAt(end, [this, claim, on_task_end] {
+        on_task_end(claim);
+        cell_.Free(claim.machine, claim.resources);
+        OnTaskFreed();
+      });
+    }
+  }
+}
+
+MachineId ClusterSimulation::PreemptAndPlace(const Job& job, Rng& rng) {
+  OMEGA_CHECK(options_.track_running_tasks)
+      << "preemption requires SimOptions::track_running_tasks";
+  const uint32_t num_machines = cell_.NumMachines();
+  auto try_machine = [&](MachineId m) -> bool {
+    if (!job.constraints.empty() &&
+        !MachineSatisfiesConstraints(cell_.machine(m), job)) {
+      return false;
+    }
+    const Resources available =
+        (cell_.UsableCapacity(m) - cell_.machine(m).allocated).ClampNonNegative();
+    const Resources shortfall = (job.task_resources - available).ClampNonNegative();
+    if (shortfall.IsZero()) {
+      // Fits without eviction (resources freed since the placement attempt).
+      cell_.Allocate(m, job.task_resources);
+      return true;
+    }
+    const std::vector<RunningTask> victims =
+        registry_.SelectVictims(m, job.precedence, shortfall);
+    if (victims.empty()) {
+      return false;
+    }
+    for (const RunningTask& victim : victims) {
+      sim_.Cancel(victim.end_event);
+      registry_.Remove(victim.task_id);
+      cell_.Free(victim.machine, victim.resources);
+      ++tasks_preempted_;
+    }
+    cell_.Allocate(m, job.task_resources);
+    return true;
+  };
+  // Random probes, then a linear scan so that a preemptable placement is
+  // found whenever one exists.
+  for (uint32_t probe = 0; probe < 32; ++probe) {
+    const auto m = static_cast<MachineId>(rng.NextBounded(num_machines));
+    if (try_machine(m)) {
+      return m;
+    }
+  }
+  const auto start = static_cast<MachineId>(rng.NextBounded(num_machines));
+  for (uint32_t i = 0; i < num_machines; ++i) {
+    const MachineId m = (start + i) % num_machines;
+    if (try_machine(m)) {
+      return m;
+    }
+  }
+  return kInvalidMachineId;
+}
+
+}  // namespace omega

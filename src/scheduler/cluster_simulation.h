@@ -1,0 +1,139 @@
+// Base harness for a simulated cluster: cell state, workload arrival streams,
+// initial fill, task lifecycle, and utilization sampling.
+//
+// Architecture-specific simulations (monolithic, two-level/Mesos, shared-
+// state/Omega) subclass this and route submitted jobs to their schedulers.
+#ifndef OMEGA_SRC_SCHEDULER_CLUSTER_SIMULATION_H_
+#define OMEGA_SRC_SCHEDULER_CLUSTER_SIMULATION_H_
+
+#include <functional>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "src/cluster/cell_state.h"
+#include "src/cluster/task_registry.h"
+#include "src/common/random.h"
+#include "src/scheduler/config.h"
+#include "src/sim/simulator.h"
+#include "src/workload/generator.h"
+#include "src/workload/job.h"
+
+namespace omega {
+
+using JobPtr = std::shared_ptr<Job>;
+
+// A point of the cluster-utilization time series (Fig. 16).
+struct UtilizationSample {
+  double time_hours = 0.0;
+  double cpu = 0.0;
+  double mem = 0.0;
+};
+
+class ClusterSimulation {
+ public:
+  ClusterSimulation(const ClusterConfig& config, const SimOptions& options,
+                    GeneratorOptions generator_options = {});
+  virtual ~ClusterSimulation() = default;
+  ClusterSimulation(const ClusterSimulation&) = delete;
+  ClusterSimulation& operator=(const ClusterSimulation&) = delete;
+
+  // Fills the cell to the configured initial utilization, starts the batch and
+  // service arrival streams, and runs the simulation to the horizon.
+  void Run();
+
+  // Replay mode: instead of synthesizing arrivals, submit exactly these jobs
+  // at their recorded submission times (high-fidelity trace replay, §5).
+  void RunTrace(std::vector<Job> trace);
+
+  // Routes a newly submitted job to the appropriate scheduler.
+  virtual void SubmitJob(const JobPtr& job) = 0;
+
+  Simulator& sim() { return sim_; }
+  CellState& cell() { return cell_; }
+  const CellState& cell() const { return cell_; }
+  const ClusterConfig& config() const { return config_; }
+  const SimOptions& options() const { return options_; }
+  SimTime EndTime() const { return SimTime::Zero() + options_.horizon; }
+
+  // Allocations already committed: starts the per-task end timers that free
+  // resources when tasks finish. `on_task_end` (optional) runs before the
+  // resources are freed (Mesos uses it to update allocator bookkeeping; the
+  // MapReduce scheduler to track job completion).
+  void StartTasks(const Job& job, std::span<const TaskClaim> claims,
+                  std::function<void(const TaskClaim&)> on_task_end = nullptr);
+
+  // Job accounting.
+  int64_t JobsSubmitted(JobType type) const {
+    return type == JobType::kBatch ? batch_submitted_ : service_submitted_;
+  }
+  int64_t JobsSubmittedTotal() const { return batch_submitted_ + service_submitted_; }
+
+  const std::vector<UtilizationSample>& utilization_series() const {
+    return utilization_series_;
+  }
+
+  WorkloadGenerator& generator() { return generator_; }
+  Rng& rng() { return rng_; }
+
+  // --- preemption support (requires SimOptions::track_running_tasks) ---
+
+  // Attempts to place one task of `job` by evicting running tasks of strictly
+  // lower precedence. On success the task's resources are allocated and the
+  // victims' end events cancelled; returns the machine used, or
+  // kInvalidMachineId if no machine can supply the resources even with
+  // preemption. The caller starts the new task via StartTasks.
+  MachineId PreemptAndPlace(const Job& job, Rng& rng);
+
+  int64_t TasksPreempted() const { return tasks_preempted_; }
+  const TaskRegistry& task_registry() const { return registry_; }
+
+  // --- machine failure injection (SimOptions::machine_failure_rate_per_day) ---
+
+  int64_t MachineFailures() const { return machine_failures_; }
+  int64_t TasksKilledByFailures() const { return tasks_killed_by_failures_; }
+  int64_t MachinesDown() const { return machines_down_; }
+
+ protected:
+  // Hook invoked after the initial fill and before arrivals start; subclasses
+  // may inspect the initial cell state.
+  virtual void OnSimulationStart() {}
+
+  // Hook invoked after every task-end free (including initial-fill tasks).
+  // The Mesos allocator uses it to re-offer newly available resources.
+  virtual void OnTaskFreed() {}
+
+ private:
+  void PlaceInitialFill();
+  void ScheduleNextArrival(JobType type);
+  void ScheduleUtilizationSample();
+  void CountSubmission(JobType type);
+  void ScheduleNextMachineFailure();
+  void FailMachine(MachineId machine);
+
+  ClusterConfig config_;
+  SimOptions options_;
+  Simulator sim_;
+  CellState cell_;
+  WorkloadGenerator generator_;
+  Rng rng_;
+
+  int64_t batch_submitted_ = 0;
+  int64_t service_submitted_ = 0;
+  std::vector<UtilizationSample> utilization_series_;
+
+  TaskRegistry registry_;
+  int64_t tasks_preempted_ = 0;
+
+  // Failure injection state: capacity reserved on down machines, pending
+  // repair.
+  std::vector<Resources> downtime_reservation_;
+  std::vector<char> machine_down_;
+  int64_t machine_failures_ = 0;
+  int64_t tasks_killed_by_failures_ = 0;
+  int64_t machines_down_ = 0;
+};
+
+}  // namespace omega
+
+#endif  // OMEGA_SRC_SCHEDULER_CLUSTER_SIMULATION_H_

@@ -1,0 +1,106 @@
+// Per-scheduler metric accounting (§4, "Metrics").
+//
+// The paper reports three primary metrics:
+//  - job wait time: submission to the *beginning of the first scheduling
+//    attempt* (overall averages; 90th percentiles in §5);
+//  - scheduler busyness: fraction of time the scheduler spends making
+//    decisions, reported as the median of per-day values with median-absolute-
+//    deviation error bars;
+//  - conflict fraction: conflicts per successfully scheduled job (a value of
+//    3 means the average job needed four scheduling attempts).
+#ifndef OMEGA_SRC_SCHEDULER_METRICS_H_
+#define OMEGA_SRC_SCHEDULER_METRICS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/common/sim_time.h"
+#include "src/common/stats.h"
+#include "src/workload/job.h"
+
+namespace omega {
+
+struct DailySummary {
+  double median = 0.0;
+  double mad = 0.0;  // median absolute deviation across days
+  double mean = 0.0;
+};
+
+class SchedulerMetrics {
+ public:
+  explicit SchedulerMetrics(Duration day_length = Duration::FromDays(1));
+
+  // --- recording ---
+
+  // Accounts a busy interval [start, end); split across day buckets.
+  // `conflict_retry` marks work that only happened because a previous attempt
+  // of the same job conflicted — subtracted to approximate the "no conflict"
+  // busyness of Fig. 12c.
+  void AddBusyInterval(SimTime start, SimTime end, bool conflict_retry = false);
+
+  // Job wait time, recorded when the first scheduling attempt begins.
+  void RecordJobWait(JobType type, Duration wait);
+
+  // Called when a job finishes scheduling (all tasks placed). `attempts` is
+  // the total number of scheduling attempts, `conflicted_attempts` how many of
+  // them hit a commit conflict. `when` attributes the conflicts to a day.
+  void RecordJobScheduled(SimTime when, JobType type, uint32_t attempts,
+                          uint32_t conflicted_attempts);
+
+  void RecordJobAbandoned(JobType type);
+
+  // Raw transaction-level accounting (accepted/conflicted task claims).
+  void RecordTransaction(int accepted_tasks, int conflicted_tasks);
+
+  // --- queries (after the run; `end` is the simulation end time) ---
+
+  DailySummary Busyness(SimTime end) const;
+  DailySummary BusynessNoConflict(SimTime end) const;
+  DailySummary ConflictFraction(SimTime end) const;
+
+  double MeanWait(JobType type) const;
+  double WaitPercentile(JobType type, double q) const;
+  int64_t JobsWaited(JobType type) const;
+
+  int64_t JobsScheduled(JobType type) const;
+  int64_t JobsAbandoned(JobType type) const;
+  int64_t JobsAbandonedTotal() const;
+  int64_t TasksAccepted() const { return tasks_accepted_; }
+  int64_t TasksConflicted() const { return tasks_conflicted_; }
+  int64_t TotalConflictedAttempts() const { return total_conflicted_attempts_; }
+  int64_t TotalAttempts() const { return total_attempts_; }
+  Duration TotalBusy() const { return total_busy_; }
+
+  // Daily series (value per simulated day), for plots.
+  std::vector<double> DailyBusyness(SimTime end) const;
+  std::vector<double> DailyConflictFraction(SimTime end) const;
+
+ private:
+  size_t DayIndex(SimTime t) const;
+  void EnsureDay(size_t day);
+  static DailySummary Summarize(const std::vector<double>& values);
+
+  Duration day_length_;
+
+  std::vector<double> busy_secs_per_day_;
+  std::vector<double> conflict_retry_busy_secs_per_day_;
+  std::vector<double> conflicts_per_day_;
+  std::vector<double> scheduled_jobs_per_day_;
+
+  std::vector<double> wait_secs_batch_;
+  std::vector<double> wait_secs_service_;
+
+  int64_t jobs_scheduled_batch_ = 0;
+  int64_t jobs_scheduled_service_ = 0;
+  int64_t jobs_abandoned_batch_ = 0;
+  int64_t jobs_abandoned_service_ = 0;
+  int64_t tasks_accepted_ = 0;
+  int64_t tasks_conflicted_ = 0;
+  int64_t total_conflicted_attempts_ = 0;
+  int64_t total_attempts_ = 0;
+  Duration total_busy_;
+};
+
+}  // namespace omega
+
+#endif  // OMEGA_SRC_SCHEDULER_METRICS_H_

@@ -1,0 +1,56 @@
+// Monolithic scheduler architecture (§3.1, §4.1).
+//
+// A single scheduler instance serves the whole workload. In the single-path
+// configuration batch and service jobs share one decision-time model (much of
+// the same code runs for every job type); the multi-path configuration gives
+// batch jobs a fast path but still schedules one job at a time, so
+// head-of-line blocking persists.
+#ifndef OMEGA_SRC_SCHEDULER_MONOLITHIC_H_
+#define OMEGA_SRC_SCHEDULER_MONOLITHIC_H_
+
+#include <memory>
+
+#include "src/scheduler/cluster_simulation.h"
+#include "src/scheduler/placement.h"
+#include "src/scheduler/queue_scheduler.h"
+
+namespace omega {
+
+// The serialized monolithic scheduler: placement is committed directly against
+// the live cell state (it is the only writer), then the scheduler stays busy
+// for the decision time.
+class MonolithicScheduler final : public QueueScheduler {
+ public:
+  // `range` restricts placement to a machine subset (statically partitioned
+  // schedulers); the default covers the whole cell.
+  MonolithicScheduler(ClusterSimulation& harness, SchedulerConfig config,
+                      Rng rng, MachineRange range = {});
+
+ protected:
+  void BeginAttempt(const JobPtr& job) override;
+
+ private:
+  RandomizedFirstFitPlacer placer_;
+  Rng rng_;
+  std::vector<TaskClaim> scratch_claims_;
+};
+
+// Harness: one monolithic scheduler for everything.
+class MonolithicSimulation final : public ClusterSimulation {
+ public:
+  // `single_path`: if true, the service decision-time model applies to every
+  // job (the paper's single-path baseline varies t_job for all jobs).
+  MonolithicSimulation(const ClusterConfig& config, const SimOptions& options,
+                       const SchedulerConfig& scheduler_config);
+
+  void SubmitJob(const JobPtr& job) override;
+
+  MonolithicScheduler& scheduler() { return *scheduler_; }
+
+ private:
+  std::unique_ptr<MonolithicScheduler> scheduler_;
+};
+
+}  // namespace omega
+
+#endif  // OMEGA_SRC_SCHEDULER_MONOLITHIC_H_

@@ -1,0 +1,75 @@
+#include "src/scheduler/placement.h"
+
+namespace omega {
+
+bool MachineSatisfiesConstraints(const Machine& machine, const Job& job) {
+  for (const PlacementConstraint& c : job.constraints) {
+    if (c.attribute_key < 0 ||
+        static_cast<size_t>(c.attribute_key) >= machine.attributes.size()) {
+      // Machines without the attribute fail equality constraints and satisfy
+      // inequality constraints.
+      if (c.must_equal) {
+        return false;
+      }
+      continue;
+    }
+    const bool equal = machine.attributes[c.attribute_key] == c.attribute_value;
+    if (equal != c.must_equal) {
+      return false;
+    }
+  }
+  return true;
+}
+
+uint32_t RandomizedFirstFitPlacer::PlaceTasks(const CellState& cell, const Job& job,
+                                              uint32_t count, Rng& rng,
+                                              std::vector<TaskClaim>* claims) {
+  const uint32_t num_machines = range_.SizeIn(cell.NumMachines());
+  if (num_machines == 0 || count == 0) {
+    return 0;
+  }
+  PendingClaims pending;
+  uint32_t placed = 0;
+  for (uint32_t t = 0; t < count; ++t) {
+    MachineId chosen = kInvalidMachineId;
+    // Phase 1: random probes.
+    for (uint32_t probe = 0; probe < max_random_probes_; ++probe) {
+      const MachineId m =
+          range_.Nth(static_cast<uint32_t>(rng.NextBounded(num_machines)));
+      if (respect_constraints_ &&
+          !MachineSatisfiesConstraints(cell.machine(m), job)) {
+        continue;
+      }
+      if (cell.CanFitWithPending(m, job.task_resources, pending.On(m))) {
+        chosen = m;
+        break;
+      }
+    }
+    // Phase 2: linear scan from a random offset; guarantees a fit is found
+    // whenever one exists.
+    if (chosen == kInvalidMachineId) {
+      const auto start = static_cast<uint32_t>(rng.NextBounded(num_machines));
+      for (uint32_t i = 0; i < num_machines; ++i) {
+        const MachineId m = range_.Nth((start + i) % num_machines);
+        if (respect_constraints_ &&
+            !MachineSatisfiesConstraints(cell.machine(m), job)) {
+          continue;
+        }
+        if (cell.CanFitWithPending(m, job.task_resources, pending.On(m))) {
+          chosen = m;
+          break;
+        }
+      }
+    }
+    if (chosen == kInvalidMachineId) {
+      break;  // No machine fits: the remaining tasks cannot be placed now.
+    }
+    claims->push_back(TaskClaim{chosen, job.task_resources,
+                                cell.machine(chosen).seqnum});
+    pending.Add(chosen, job.task_resources);
+    ++placed;
+  }
+  return placed;
+}
+
+}  // namespace omega

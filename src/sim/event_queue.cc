@@ -1,0 +1,61 @@
+#include "src/sim/event_queue.h"
+
+#include "src/common/logging.h"
+
+namespace omega {
+
+EventId EventQueue::Push(SimTime time, Callback callback) {
+  const EventId id = next_id_++;
+  heap_.push(Entry{time, next_sequence_++, id});
+  callbacks_.emplace(id, std::move(callback));
+  return id;
+}
+
+bool EventQueue::Cancel(EventId id) {
+  auto it = callbacks_.find(id);
+  if (it == callbacks_.end()) {
+    return false;
+  }
+  callbacks_.erase(it);
+  cancelled_.insert(id);
+  return true;
+}
+
+void EventQueue::SkipCancelled() {
+  while (!heap_.empty()) {
+    auto it = cancelled_.find(heap_.top().id);
+    if (it == cancelled_.end()) {
+      return;
+    }
+    cancelled_.erase(it);
+    heap_.pop();
+  }
+}
+
+bool EventQueue::Empty() {
+  SkipCancelled();
+  return heap_.empty();
+}
+
+SimTime EventQueue::PeekTime() {
+  SkipCancelled();
+  OMEGA_CHECK(!heap_.empty());
+  return heap_.top().time;
+}
+
+EventQueue::Callback EventQueue::Pop(SimTime* time_out) {
+  SkipCancelled();
+  OMEGA_CHECK(!heap_.empty());
+  const Entry entry = heap_.top();
+  heap_.pop();
+  auto it = callbacks_.find(entry.id);
+  OMEGA_CHECK(it != callbacks_.end());
+  Callback cb = std::move(it->second);
+  callbacks_.erase(it);
+  if (time_out != nullptr) {
+    *time_out = entry.time;
+  }
+  return cb;
+}
+
+}  // namespace omega

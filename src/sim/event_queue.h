@@ -1,0 +1,75 @@
+// Priority queue of timestamped events with O(log n) insertion and lazy
+// cancellation.
+//
+// Ties on the timestamp are broken by insertion order, which makes simulation
+// runs fully deterministic.
+#ifndef OMEGA_SRC_SIM_EVENT_QUEUE_H_
+#define OMEGA_SRC_SIM_EVENT_QUEUE_H_
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "src/common/sim_time.h"
+
+namespace omega {
+
+using EventId = uint64_t;
+inline constexpr EventId kInvalidEventId = 0;
+
+// Min-heap of events keyed by (time, sequence). Cancelled events stay in the
+// heap and are skipped on pop ("lazy deletion"); the cancelled-id set is kept
+// small by erasing ids as their entries surface.
+class EventQueue {
+ public:
+  using Callback = std::function<void()>;
+
+  // Adds an event firing at `time`. Returns an id usable with Cancel().
+  EventId Push(SimTime time, Callback callback);
+
+  // Cancels a previously pushed event. Cancelling an already-fired or unknown
+  // id is a no-op. Returns true if the event was pending.
+  bool Cancel(EventId id);
+
+  // True if no live (non-cancelled) events remain.
+  bool Empty();
+
+  // Time of the earliest live event. Must not be called when Empty().
+  SimTime PeekTime();
+
+  // Removes and returns the earliest live event's callback, advancing past any
+  // cancelled entries. Must not be called when Empty().
+  Callback Pop(SimTime* time_out);
+
+  size_t PendingCount() const { return heap_.size() - cancelled_.size(); }
+
+ private:
+  struct Entry {
+    SimTime time;
+    uint64_t sequence;
+    EventId id;
+
+    bool operator>(const Entry& other) const {
+      if (time != other.time) {
+        return time > other.time;
+      }
+      return sequence > other.sequence;
+    }
+  };
+
+  // Drops cancelled entries from the heap head.
+  void SkipCancelled();
+
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap_;
+  std::unordered_map<EventId, Callback> callbacks_;
+  std::unordered_set<EventId> cancelled_;
+  uint64_t next_sequence_ = 0;
+  EventId next_id_ = 1;
+};
+
+}  // namespace omega
+
+#endif  // OMEGA_SRC_SIM_EVENT_QUEUE_H_

@@ -1,0 +1,35 @@
+#include "src/sim/simulator.h"
+
+#include "src/common/logging.h"
+
+namespace omega {
+
+EventId Simulator::ScheduleAt(SimTime when, std::function<void()> fn) {
+  OMEGA_CHECK(when >= now_) << "scheduling into the past: " << when << " < " << now_;
+  return queue_.Push(when, std::move(fn));
+}
+
+EventId Simulator::ScheduleAfter(Duration delay, std::function<void()> fn) {
+  OMEGA_CHECK(delay >= Duration::Zero());
+  return ScheduleAt(now_ + delay, std::move(fn));
+}
+
+int64_t Simulator::RunUntil(SimTime end) {
+  int64_t processed = 0;
+  while (!queue_.Empty()) {
+    if (queue_.PeekTime() > end) {
+      break;
+    }
+    SimTime when;
+    auto fn = queue_.Pop(&when);
+    now_ = when;
+    fn();
+    ++processed;
+  }
+  if (now_ < end && end != SimTime::Max()) {
+    now_ = end;
+  }
+  return processed;
+}
+
+}  // namespace omega

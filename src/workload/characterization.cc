@@ -1,0 +1,90 @@
+#include "src/workload/characterization.h"
+
+#include <algorithm>
+
+namespace omega {
+namespace {
+
+double Fraction(double service, double batch) {
+  const double total = service + batch;
+  return total > 0.0 ? service / total : 0.0;
+}
+
+}  // namespace
+
+double WorkloadCharacterization::ServiceJobFraction() const {
+  return Fraction(service.jobs, batch.jobs);
+}
+double WorkloadCharacterization::ServiceTaskFraction() const {
+  return Fraction(service.tasks, batch.tasks);
+}
+double WorkloadCharacterization::ServiceCpuFraction() const {
+  return Fraction(service.cpu_seconds, batch.cpu_seconds);
+}
+double WorkloadCharacterization::ServiceRamFraction() const {
+  return Fraction(service.ram_gb_seconds, batch.ram_gb_seconds);
+}
+
+WorkloadCharacterization Characterize(const std::vector<Job>& jobs,
+                                      Duration window) {
+  WorkloadCharacterization out;
+  SimTime prev_batch_arrival;
+  SimTime prev_service_arrival;
+  bool saw_batch = false;
+  bool saw_service = false;
+  int64_t service_jobs = 0;
+  int64_t service_over_month = 0;
+  constexpr double kMonthSecs = 30.0 * 86400.0;
+
+  // Jobs are expected in submit-time order for inter-arrival computation; sort
+  // a copy of the order indices to be safe.
+  std::vector<const Job*> ordered;
+  ordered.reserve(jobs.size());
+  for (const Job& j : jobs) {
+    ordered.push_back(&j);
+  }
+  std::sort(ordered.begin(), ordered.end(), [](const Job* a, const Job* b) {
+    return a->submit_time < b->submit_time;
+  });
+
+  for (const Job* j : ordered) {
+    const double runtime_secs = j->task_duration.ToSeconds();
+    const double capped_secs = std::min(runtime_secs, window.ToSeconds());
+    const auto tasks = static_cast<double>(j->num_tasks);
+    TypeShare& share = j->type == JobType::kBatch ? out.batch : out.service;
+    share.jobs += 1.0;
+    share.tasks += tasks;
+    share.cpu_seconds += tasks * j->task_resources.cpus * capped_secs;
+    share.ram_gb_seconds += tasks * j->task_resources.mem_gb * capped_secs;
+
+    if (j->type == JobType::kBatch) {
+      out.batch_runtime.Add(capped_secs);
+      out.batch_tasks.Add(tasks);
+      if (saw_batch) {
+        out.batch_interarrival.Add((j->submit_time - prev_batch_arrival).ToSeconds());
+      }
+      prev_batch_arrival = j->submit_time;
+      saw_batch = true;
+    } else {
+      out.service_runtime.Add(capped_secs);
+      out.service_tasks.Add(tasks);
+      if (saw_service) {
+        out.service_interarrival.Add(
+            (j->submit_time - prev_service_arrival).ToSeconds());
+      }
+      prev_service_arrival = j->submit_time;
+      saw_service = true;
+      ++service_jobs;
+      if (runtime_secs > kMonthSecs) {
+        ++service_over_month;
+      }
+    }
+  }
+  out.service_over_month_fraction =
+      service_jobs > 0
+          ? static_cast<double>(service_over_month) / static_cast<double>(service_jobs)
+          : 0.0;
+  return out;
+}
+
+}  // namespace omega

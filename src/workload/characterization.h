@@ -1,0 +1,56 @@
+// Workload characterization (§2.1, Figures 2-4).
+//
+// Computes, for a job population, the batch/service split of job counts, task
+// counts and aggregate resource-time requests, and the CDFs of job runtime,
+// inter-arrival time and tasks-per-job. Runtime contributions are capped at
+// the observation window, exactly as the paper's 30-day trace window caps
+// them ("where the lines do not meet 1.0, some of the jobs ran for longer").
+#ifndef OMEGA_SRC_WORKLOAD_CHARACTERIZATION_H_
+#define OMEGA_SRC_WORKLOAD_CHARACTERIZATION_H_
+
+#include <vector>
+
+#include "src/common/stats.h"
+#include "src/workload/job.h"
+
+namespace omega {
+
+struct TypeShare {
+  double jobs = 0.0;
+  double tasks = 0.0;
+  double cpu_seconds = 0.0;
+  double ram_gb_seconds = 0.0;
+};
+
+struct WorkloadCharacterization {
+  TypeShare batch;
+  TypeShare service;
+
+  // CDFs per type. Runtime in seconds (capped at the window), inter-arrival
+  // in seconds, tasks per job.
+  Cdf batch_runtime;
+  Cdf service_runtime;
+  Cdf batch_interarrival;
+  Cdf service_interarrival;
+  Cdf batch_tasks;
+  Cdf service_tasks;
+
+  // Fraction of service jobs whose (uncapped) runtime exceeds 30 days.
+  double service_over_month_fraction = 0.0;
+
+  // Normalized shares in [0,1]: service fraction of each aggregate (Fig. 2's
+  // striped portion).
+  double ServiceJobFraction() const;
+  double ServiceTaskFraction() const;
+  double ServiceCpuFraction() const;
+  double ServiceRamFraction() const;
+};
+
+// Analyzes `jobs` over an observation window of `window` (used to cap runtime
+// contributions). Jobs must carry valid submit times.
+WorkloadCharacterization Characterize(const std::vector<Job>& jobs,
+                                      Duration window);
+
+}  // namespace omega
+
+#endif  // OMEGA_SRC_WORKLOAD_CHARACTERIZATION_H_

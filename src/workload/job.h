@@ -1,0 +1,98 @@
+// Jobs and tasks (§2.1).
+//
+// A job is one or more tasks; the workload is split two ways into long-running
+// *service* jobs and *batch* jobs. Tasks within a job have identical resource
+// requirements (the common case in the traces, which also justifies the linear
+// decision-time model t_decision = t_job + t_task * tasks).
+#ifndef OMEGA_SRC_WORKLOAD_JOB_H_
+#define OMEGA_SRC_WORKLOAD_JOB_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/cluster/resources.h"
+#include "src/common/sim_time.h"
+
+namespace omega {
+
+using JobId = uint64_t;
+
+enum class JobType : uint8_t {
+  kBatch,
+  kService,
+};
+
+inline const char* JobTypeName(JobType type) {
+  return type == JobType::kBatch ? "batch" : "service";
+}
+
+// The common scale for the relative importance of work that all schedulers
+// must agree on, called "precedence" (§3.4). Modeled on the public trace's
+// priority bands: batch jobs sit in the lower bands, service jobs in the
+// production bands.
+inline int32_t DefaultPrecedence(JobType type) {
+  return type == JobType::kService ? 10 : 4;
+}
+
+// A placement constraint over machine attributes (high-fidelity simulator,
+// §5): the task may only run on machines whose attribute `key` compares
+// (equal / not-equal) to `value`.
+struct PlacementConstraint {
+  int32_t attribute_key = 0;
+  int32_t attribute_value = 0;
+  bool must_equal = true;
+
+  bool operator==(const PlacementConstraint&) const = default;
+};
+
+// Extra shape information carried by MapReduce jobs (§6): activity counts and
+// historical average activity durations, from which the specialized scheduler
+// predicts completion time as a function of worker count.
+struct MapReduceSpec {
+  int64_t num_map_activities = 0;
+  int64_t num_reduce_activities = 0;
+  Duration map_activity_duration;
+  Duration reduce_activity_duration;
+  // Worker count the user configured at submission.
+  int32_t requested_workers = 0;
+
+  bool operator==(const MapReduceSpec&) const = default;
+};
+
+// A unit of scheduling work. Static description plus the mutable bookkeeping
+// a scheduler maintains while placing it.
+struct Job {
+  // --- static description (what a trace record contains) ---
+  JobId id = 0;
+  JobType type = JobType::kBatch;
+  SimTime submit_time;
+  uint32_t num_tasks = 1;
+  Duration task_duration;      // identical for all tasks of the job
+  Resources task_resources;    // identical for all tasks of the job
+  int32_t precedence = 0;      // see DefaultPrecedence()
+  std::vector<PlacementConstraint> constraints;
+  std::optional<MapReduceSpec> mapreduce;
+
+  // --- scheduling bookkeeping ---
+  uint32_t tasks_scheduled = 0;
+  uint32_t scheduling_attempts = 0;
+  // Attempts whose transaction hit at least one conflict (drives the
+  // conflict-fraction metric).
+  uint32_t conflicted_attempts = 0;
+  std::optional<SimTime> first_attempt_time;
+  bool abandoned = false;
+
+  uint32_t TasksRemaining() const { return num_tasks - tasks_scheduled; }
+  bool FullyScheduled() const { return tasks_scheduled == num_tasks; }
+
+  // Aggregate resource request of the whole job.
+  Resources TotalRequest() const {
+    return task_resources * static_cast<double>(num_tasks);
+  }
+};
+
+}  // namespace omega
+
+#endif  // OMEGA_SRC_WORKLOAD_JOB_H_

@@ -1,0 +1,178 @@
+#include "src/workload/trace.h"
+
+#include <algorithm>
+#include <fstream>
+#include <iomanip>
+#include <map>
+#include <sstream>
+
+namespace omega {
+namespace {
+
+constexpr char kHeader[] = "omegatrace v1";
+
+std::string FormatError(int line_no, const std::string& message) {
+  std::ostringstream os;
+  os << "trace parse error at line " << line_no << ": " << message;
+  return os.str();
+}
+
+}  // namespace
+
+void WriteTrace(const std::vector<Job>& jobs, std::ostream& os) {
+  std::vector<const Job*> sorted;
+  sorted.reserve(jobs.size());
+  for (const Job& j : jobs) {
+    sorted.push_back(&j);
+  }
+  std::sort(sorted.begin(), sorted.end(), [](const Job* a, const Job* b) {
+    if (a->submit_time != b->submit_time) {
+      return a->submit_time < b->submit_time;
+    }
+    return a->id < b->id;
+  });
+
+  os << "# " << kHeader << "\n";
+  os << "# jobs: " << jobs.size() << "\n";
+  os << std::setprecision(17);
+  for (const Job* j : sorted) {
+    os << "job " << j->id << " " << (j->type == JobType::kBatch ? "batch" : "service")
+       << " " << j->submit_time.micros() << " " << j->num_tasks << " "
+       << j->task_duration.micros() << " " << j->task_resources.cpus << " "
+       << j->task_resources.mem_gb << "\n";
+    for (const PlacementConstraint& c : j->constraints) {
+      os << "constraint " << j->id << " " << c.attribute_key << " "
+         << c.attribute_value << " " << (c.must_equal ? "eq" : "ne") << "\n";
+    }
+    if (j->mapreduce.has_value()) {
+      const MapReduceSpec& mr = *j->mapreduce;
+      os << "mapreduce " << j->id << " " << mr.num_map_activities << " "
+         << mr.num_reduce_activities << " " << mr.map_activity_duration.micros()
+         << " " << mr.reduce_activity_duration.micros() << " "
+         << mr.requested_workers << "\n";
+    }
+  }
+}
+
+bool WriteTraceFile(const std::vector<Job>& jobs, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) {
+    return false;
+  }
+  WriteTrace(jobs, out);
+  return static_cast<bool>(out);
+}
+
+bool ReadTrace(std::istream& is, std::vector<Job>* jobs, std::string* error) {
+  jobs->clear();
+  std::map<JobId, size_t> index;
+  std::string line;
+  int line_no = 0;
+  while (std::getline(is, line)) {
+    ++line_no;
+    if (line.empty() || line[0] == '#') {
+      continue;
+    }
+    std::istringstream ls(line);
+    std::string kind;
+    ls >> kind;
+    if (kind == "job") {
+      Job j;
+      std::string type;
+      int64_t submit_us = 0;
+      int64_t duration_us = 0;
+      ls >> j.id >> type >> submit_us >> j.num_tasks >> duration_us >>
+          j.task_resources.cpus >> j.task_resources.mem_gb;
+      if (!ls) {
+        if (error != nullptr) {
+          *error = FormatError(line_no, "malformed job record");
+        }
+        return false;
+      }
+      if (type == "batch") {
+        j.type = JobType::kBatch;
+      } else if (type == "service") {
+        j.type = JobType::kService;
+      } else {
+        if (error != nullptr) {
+          *error = FormatError(line_no, "unknown job type '" + type + "'");
+        }
+        return false;
+      }
+      j.submit_time = SimTime(submit_us);
+      j.task_duration = Duration(duration_us);
+      j.precedence = DefaultPrecedence(j.type);
+      if (index.contains(j.id)) {
+        if (error != nullptr) {
+          *error = FormatError(line_no, "duplicate job id");
+        }
+        return false;
+      }
+      index[j.id] = jobs->size();
+      jobs->push_back(std::move(j));
+    } else if (kind == "constraint") {
+      JobId id = 0;
+      PlacementConstraint c;
+      std::string cmp;
+      ls >> id >> c.attribute_key >> c.attribute_value >> cmp;
+      if (!ls || (cmp != "eq" && cmp != "ne")) {
+        if (error != nullptr) {
+          *error = FormatError(line_no, "malformed constraint record");
+        }
+        return false;
+      }
+      c.must_equal = cmp == "eq";
+      auto it = index.find(id);
+      if (it == index.end()) {
+        if (error != nullptr) {
+          *error = FormatError(line_no, "constraint for unknown job");
+        }
+        return false;
+      }
+      (*jobs)[it->second].constraints.push_back(c);
+    } else if (kind == "mapreduce") {
+      JobId id = 0;
+      MapReduceSpec mr;
+      int64_t map_us = 0;
+      int64_t reduce_us = 0;
+      ls >> id >> mr.num_map_activities >> mr.num_reduce_activities >> map_us >>
+          reduce_us >> mr.requested_workers;
+      if (!ls) {
+        if (error != nullptr) {
+          *error = FormatError(line_no, "malformed mapreduce record");
+        }
+        return false;
+      }
+      mr.map_activity_duration = Duration(map_us);
+      mr.reduce_activity_duration = Duration(reduce_us);
+      auto it = index.find(id);
+      if (it == index.end()) {
+        if (error != nullptr) {
+          *error = FormatError(line_no, "mapreduce spec for unknown job");
+        }
+        return false;
+      }
+      (*jobs)[it->second].mapreduce = mr;
+    } else {
+      if (error != nullptr) {
+        *error = FormatError(line_no, "unknown record kind '" + kind + "'");
+      }
+      return false;
+    }
+  }
+  return true;
+}
+
+bool ReadTraceFile(const std::string& path, std::vector<Job>* jobs,
+                   std::string* error) {
+  std::ifstream in(path);
+  if (!in) {
+    if (error != nullptr) {
+      *error = "cannot open trace file: " + path;
+    }
+    return false;
+  }
+  return ReadTrace(in, jobs, error);
+}
+
+}  // namespace omega

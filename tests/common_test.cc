@@ -1,0 +1,97 @@
+// Tests for the remaining common utilities: SimTime/Duration arithmetic,
+// ParallelFor, and logging levels.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+#include "src/common/logging.h"
+#include "src/common/parallel_for.h"
+#include "src/common/sim_time.h"
+
+namespace omega {
+namespace {
+
+TEST(SimTimeTest, ConversionsRoundTrip) {
+  EXPECT_EQ(SimTime::FromSeconds(1.5).micros(), 1500000);
+  EXPECT_EQ(SimTime::FromMillis(2.0).micros(), 2000);
+  EXPECT_EQ(SimTime::FromMinutes(1.0), SimTime::FromSeconds(60.0));
+  EXPECT_EQ(SimTime::FromHours(1.0), SimTime::FromSeconds(3600.0));
+  EXPECT_EQ(SimTime::FromDays(1.0), SimTime::FromHours(24.0));
+  EXPECT_DOUBLE_EQ(SimTime::FromSeconds(90.0).ToSeconds(), 90.0);
+  EXPECT_DOUBLE_EQ(SimTime::FromHours(36.0).ToDays(), 1.5);
+}
+
+TEST(SimTimeTest, Arithmetic) {
+  const SimTime t = SimTime::FromSeconds(100);
+  const Duration d = Duration::FromSeconds(40);
+  EXPECT_EQ(t + d, SimTime::FromSeconds(140));
+  EXPECT_EQ(t - d, SimTime::FromSeconds(60));
+  EXPECT_EQ((t + d) - t, d);
+  EXPECT_EQ(d + d, Duration::FromSeconds(80));
+  EXPECT_EQ(d - Duration::FromSeconds(10), Duration::FromSeconds(30));
+  EXPECT_EQ(d * 2.5, Duration::FromSeconds(100));
+  EXPECT_EQ(2.5 * d, Duration::FromSeconds(100));
+  EXPECT_DOUBLE_EQ(Duration::FromSeconds(80) / d, 2.0);
+}
+
+TEST(SimTimeTest, Comparisons) {
+  EXPECT_LT(SimTime::FromSeconds(1), SimTime::FromSeconds(2));
+  EXPECT_EQ(SimTime::Zero(), SimTime(0));
+  EXPECT_GT(SimTime::Max(), SimTime::FromDays(100000));
+  EXPECT_LE(Duration::Zero(), Duration::FromMillis(1));
+}
+
+TEST(SimTimeTest, Streaming) {
+  std::ostringstream os;
+  os << SimTime::FromSeconds(2.5) << " " << Duration::FromSeconds(0.5);
+  EXPECT_EQ(os.str(), "2.5s 0.5s");
+}
+
+TEST(ParallelForTest, CoversAllIndicesOnce) {
+  constexpr size_t kN = 1000;
+  std::vector<std::atomic<int>> hits(kN);
+  ParallelFor(kN, [&](size_t i) { hits[i].fetch_add(1); }, 8);
+  for (size_t i = 0; i < kN; ++i) {
+    EXPECT_EQ(hits[i].load(), 1) << i;
+  }
+}
+
+TEST(ParallelForTest, ZeroIterationsIsNoop) {
+  ParallelFor(0, [](size_t) { FAIL() << "must not be called"; });
+}
+
+TEST(ParallelForTest, SingleThreadFallback) {
+  std::vector<int> order;
+  ParallelFor(5, [&](size_t i) { order.push_back(static_cast<int>(i)); }, 1);
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(ParallelForTest, MoreThreadsThanWork) {
+  std::atomic<int> sum{0};
+  ParallelFor(3, [&](size_t i) { sum.fetch_add(static_cast<int>(i) + 1); }, 64);
+  EXPECT_EQ(sum.load(), 6);
+}
+
+TEST(LoggingTest, LevelFiltering) {
+  const LogLevel old = GetLogLevel();
+  SetLogLevel(LogLevel::kWarning);
+  EXPECT_FALSE(OMEGA_LOG_IS_ON(kDebug));
+  EXPECT_FALSE(OMEGA_LOG_IS_ON(kInfo));
+  EXPECT_TRUE(OMEGA_LOG_IS_ON(kWarning));
+  EXPECT_TRUE(OMEGA_LOG_IS_ON(kError));
+  SetLogLevel(old);
+}
+
+TEST(LoggingDeathTest, CheckFailureAborts) {
+  EXPECT_DEATH({ OMEGA_CHECK(1 == 2) << "impossible"; }, "Check failed");
+}
+
+TEST(LoggingTest, CheckPassesSilently) {
+  OMEGA_CHECK(true) << "never evaluated";
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace omega

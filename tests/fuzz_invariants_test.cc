@@ -1,0 +1,129 @@
+// Randomized invariant fuzzing: placers never produce uncommittable claims on
+// a quiescent cell, commits never violate conservation, and interleaved
+// random scheduler activity keeps the cell state consistent under every
+// combination of conflict-detection and commit mode.
+#include <gtest/gtest.h>
+
+#include "src/hifi/scoring_placer.h"
+#include "src/scheduler/placement.h"
+#include "src/workload/cluster_config.h"
+
+namespace omega {
+namespace {
+
+Job RandomJob(Rng& rng, JobId id) {
+  Job j;
+  j.id = id;
+  j.num_tasks = 1 + static_cast<uint32_t>(rng.NextBounded(12));
+  j.task_resources =
+      Resources{0.1 + rng.NextDouble() * 1.5, 0.2 + rng.NextDouble() * 4.0};
+  j.task_duration = Duration::FromSeconds(60);
+  j.precedence = rng.NextBool(0.2) ? 10 : 4;
+  return j;
+}
+
+struct FuzzCase {
+  uint64_t seed;
+  bool use_scoring;
+  ConflictMode conflict;
+  CommitMode commit;
+};
+
+class PlacerCommitFuzzTest : public ::testing::TestWithParam<FuzzCase> {};
+
+TEST_P(PlacerCommitFuzzTest, NoOvercommitNoLeaks) {
+  const FuzzCase& c = GetParam();
+  Rng rng(c.seed);
+  CellState cell(48, Resources{4.0, 16.0});
+  if (c.use_scoring) {
+    cell.EnableAvailabilityIndex();
+  }
+  std::unique_ptr<TaskPlacer> placer;
+  if (c.use_scoring) {
+    placer = std::make_unique<ScoringPlacer>();
+  } else {
+    placer = std::make_unique<RandomizedFirstFitPlacer>();
+  }
+
+  // Live allocations we can free later: (machine, resources).
+  std::vector<TaskClaim> live;
+  JobId next_id = 1;
+  for (int round = 0; round < 400; ++round) {
+    const double action = rng.NextDouble();
+    if (action < 0.55) {
+      // Place and commit a job, possibly with a stale snapshot: mutate the
+      // cell between placement and commit to provoke conflicts.
+      const Job job = RandomJob(rng, next_id++);
+      std::vector<TaskClaim> claims;
+      placer->PlaceTasks(cell, job, job.num_tasks, rng, &claims);
+      // Interleaved activity from "another scheduler".
+      if (rng.NextBool(0.5) && !live.empty()) {
+        const size_t k = rng.NextBounded(live.size());
+        cell.Free(live[k].machine, live[k].resources);
+        live[k] = live.back();
+        live.pop_back();
+      }
+      if (rng.NextBool(0.5)) {
+        const Job other = RandomJob(rng, next_id++);
+        std::vector<TaskClaim> other_claims;
+        placer->PlaceTasks(cell, other, 2, rng, &other_claims);
+        const CommitResult r = cell.Commit(other_claims,
+                                           ConflictMode::kFineGrained,
+                                           CommitMode::kIncremental);
+        for (size_t i = 0; i < static_cast<size_t>(r.accepted); ++i) {
+          live.push_back(other_claims[i]);
+        }
+      }
+      std::vector<TaskClaim> rejected;
+      const CommitResult r = cell.Commit(claims, c.conflict, c.commit, &rejected);
+      // Accepted + rejected account for every claim.
+      EXPECT_EQ(static_cast<size_t>(r.accepted + r.conflicted), claims.size());
+      // Track accepted ones so they can be freed (reconstruct accepted set).
+      size_t reject_idx = 0;
+      for (const TaskClaim& claim : claims) {
+        if (reject_idx < rejected.size() &&
+            claim.machine == rejected[reject_idx].machine &&
+            claim.resources == rejected[reject_idx].resources) {
+          ++reject_idx;
+          continue;
+        }
+        live.push_back(claim);
+      }
+    } else if (!live.empty()) {
+      const size_t k = rng.NextBounded(live.size());
+      cell.Free(live[k].machine, live[k].resources);
+      live[k] = live.back();
+      live.pop_back();
+    }
+    ASSERT_TRUE(cell.CheckInvariants()) << "round " << round;
+  }
+  // Drain everything: the cell must return to empty.
+  for (const TaskClaim& claim : live) {
+    cell.Free(claim.machine, claim.resources);
+  }
+  EXPECT_TRUE(cell.TotalAllocated().IsZero());
+  EXPECT_TRUE(cell.CheckInvariants());
+}
+
+std::vector<FuzzCase> MakeCases() {
+  std::vector<FuzzCase> cases;
+  uint64_t seed = 1000;
+  for (bool scoring : {false, true}) {
+    for (ConflictMode conflict :
+         {ConflictMode::kFineGrained, ConflictMode::kCoarseGrained}) {
+      for (CommitMode commit :
+           {CommitMode::kIncremental, CommitMode::kAllOrNothing}) {
+        for (int i = 0; i < 2; ++i) {
+          cases.push_back(FuzzCase{seed++, scoring, conflict, commit});
+        }
+      }
+    }
+  }
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(Matrix, PlacerCommitFuzzTest,
+                         ::testing::ValuesIn(MakeCases()));
+
+}  // namespace
+}  // namespace omega

@@ -1,0 +1,122 @@
+// Cross-architecture integration tests: the same workload run through the
+// monolithic, two-level (Mesos) and shared-state (Omega) simulations, checking
+// the comparative properties the paper's evaluation rests on.
+#include <gtest/gtest.h>
+
+#include "src/mesos/mesos_simulation.h"
+#include "src/scheduler/monolithic.h"
+#include "src/omega/omega_scheduler.h"
+#include "src/workload/cluster_config.h"
+
+namespace omega {
+namespace {
+
+SimOptions Run6h(uint64_t seed = 42) {
+  SimOptions o;
+  o.horizon = Duration::FromHours(6);
+  o.seed = seed;
+  return o;
+}
+
+// A moderately loaded test cell with slow service decisions: the regime where
+// the architectures differ (§4).
+ClusterConfig Cell() {
+  ClusterConfig cfg = TestCluster(64);
+  cfg.batch.interarrival_mean_secs = 1.0;
+  cfg.service.interarrival_mean_secs = 30.0;
+  return cfg;
+}
+
+SchedulerConfig SlowService() {
+  SchedulerConfig s;
+  s.service_times.t_job = Duration::FromSeconds(10.0);
+  return s;
+}
+
+TEST(IntegrationTest, OmegaAvoidsHeadOfLineBlocking) {
+  const ClusterConfig cfg = Cell();
+  // Single-path monolithic: service decision time applies to everything.
+  SchedulerConfig single = SlowService();
+  single.batch_times = single.service_times;
+  MonolithicSimulation mono(cfg, Run6h(), single);
+  mono.Run();
+
+  OmegaSimulation om(cfg, Run6h(), SchedulerConfig{}, SlowService());
+  om.Run();
+
+  const double mono_batch_wait =
+      mono.scheduler().metrics().MeanWait(JobType::kBatch);
+  EXPECT_GT(mono_batch_wait, 10.0 * om.MeanBatchWait());
+}
+
+TEST(IntegrationTest, OmegaMatchesMultiPathWaitTimes) {
+  // §4.3: Omega's wait times are comparable to multi-path monolithic.
+  const ClusterConfig cfg = Cell();
+  MonolithicSimulation multi(cfg, Run6h(), SlowService());
+  multi.Run();
+  OmegaSimulation om(cfg, Run6h(), SchedulerConfig{}, SlowService());
+  om.Run();
+  const double multi_wait = multi.scheduler().metrics().MeanWait(JobType::kBatch);
+  const double om_wait = om.MeanBatchWait();
+  // Same order of magnitude (Omega may be slightly better: no shared queue).
+  EXPECT_LT(om_wait, multi_wait + 5.0);
+}
+
+TEST(IntegrationTest, OmegaSchedulesMoreThanMesosUnderSlowDecisions) {
+  // §4.2: the offer model degrades with slow service schedulers; Omega does
+  // not. Compare completed batch jobs on identical workloads.
+  ClusterConfig cfg = Cell();
+  SchedulerConfig service;
+  service.service_times.t_job = Duration::FromSeconds(30.0);
+  service.max_attempts = 100;
+  SchedulerConfig batch;
+  batch.max_attempts = 100;
+
+  MesosSimulation mesos(cfg, Run6h(), batch, service);
+  mesos.Run();
+  OmegaSimulation om(cfg, Run6h(), batch, service);
+  om.Run();
+
+  int64_t omega_batch = 0;
+  for (uint32_t i = 0; i < om.NumBatchSchedulers(); ++i) {
+    omega_batch += om.batch_scheduler(i).metrics().JobsScheduled(JobType::kBatch);
+  }
+  const int64_t mesos_batch =
+      mesos.batch_framework().metrics().JobsScheduled(JobType::kBatch);
+  EXPECT_GE(omega_batch, mesos_batch);
+  // And Mesos batch wait suffers relative to Omega.
+  EXPECT_GE(mesos.batch_framework().metrics().MeanWait(JobType::kBatch),
+            om.MeanBatchWait());
+}
+
+TEST(IntegrationTest, AllArchitecturesConserveResources) {
+  const ClusterConfig cfg = Cell();
+  MonolithicSimulation mono(cfg, Run6h(1), SchedulerConfig{});
+  mono.Run();
+  EXPECT_TRUE(mono.cell().CheckInvariants());
+
+  MesosSimulation mesos(cfg, Run6h(2), SchedulerConfig{}, SchedulerConfig{});
+  mesos.Run();
+  EXPECT_TRUE(mesos.cell().CheckInvariants());
+
+  OmegaSimulation om(cfg, Run6h(3), SchedulerConfig{}, SchedulerConfig{}, 3);
+  om.Run();
+  EXPECT_TRUE(om.cell().CheckInvariants());
+}
+
+TEST(IntegrationTest, UtilizationStaysNearTarget) {
+  // The initial fill plus balanced arrivals keep utilization in a sane band
+  // over the run (neither draining to zero nor saturating).
+  ClusterConfig cfg = Cell();
+  SimOptions opts = Run6h(4);
+  opts.utilization_sample_interval = Duration::FromMinutes(30);
+  OmegaSimulation om(cfg, opts, SchedulerConfig{}, SchedulerConfig{});
+  om.Run();
+  for (const UtilizationSample& s : om.utilization_series()) {
+    EXPECT_GT(s.cpu, 0.05);
+    EXPECT_LT(s.cpu, 0.98);
+  }
+}
+
+}  // namespace
+}  // namespace omega

@@ -1,0 +1,145 @@
+#include "src/scheduler/monolithic.h"
+
+#include <gtest/gtest.h>
+
+#include "src/workload/cluster_config.h"
+
+namespace omega {
+namespace {
+
+SimOptions ShortRun(uint64_t seed = 1) {
+  SimOptions o;
+  o.horizon = Duration::FromHours(4);
+  o.seed = seed;
+  return o;
+}
+
+TEST(MonolithicTest, SchedulesWholeWorkload) {
+  MonolithicSimulation sim(TestCluster(), ShortRun(), SchedulerConfig{});
+  sim.Run();
+  const auto& m = sim.scheduler().metrics();
+  const int64_t submitted = sim.JobsSubmittedTotal();
+  EXPECT_GT(submitted, 100);
+  EXPECT_EQ(m.JobsScheduled(JobType::kBatch) + m.JobsScheduled(JobType::kService) +
+                m.JobsAbandonedTotal() +
+                static_cast<int64_t>(sim.scheduler().QueueDepth()) +
+                (sim.scheduler().busy() ? 1 : 0),
+            submitted);
+  EXPECT_TRUE(sim.cell().CheckInvariants());
+}
+
+TEST(MonolithicTest, NoConflictsEver) {
+  MonolithicSimulation sim(TestCluster(), ShortRun(2), SchedulerConfig{});
+  sim.Run();
+  EXPECT_EQ(sim.scheduler().metrics().TasksConflicted(), 0);
+  EXPECT_EQ(sim.scheduler().metrics().TotalConflictedAttempts(), 0);
+}
+
+TEST(MonolithicTest, DeterministicAcrossRuns) {
+  MonolithicSimulation sim1(TestCluster(), ShortRun(3), SchedulerConfig{});
+  MonolithicSimulation sim2(TestCluster(), ShortRun(3), SchedulerConfig{});
+  sim1.Run();
+  sim2.Run();
+  EXPECT_EQ(sim1.JobsSubmittedTotal(), sim2.JobsSubmittedTotal());
+  EXPECT_EQ(sim1.scheduler().metrics().JobsScheduled(JobType::kBatch),
+            sim2.scheduler().metrics().JobsScheduled(JobType::kBatch));
+  EXPECT_DOUBLE_EQ(sim1.scheduler().metrics().MeanWait(JobType::kBatch),
+                   sim2.scheduler().metrics().MeanWait(JobType::kBatch));
+}
+
+TEST(MonolithicTest, BusynessGrowsWithDecisionTime) {
+  SchedulerConfig fast;
+  SchedulerConfig slow;
+  slow.batch_times.t_job = Duration::FromSeconds(1.0);
+  slow.service_times.t_job = Duration::FromSeconds(1.0);
+  MonolithicSimulation sim_fast(TestCluster(), ShortRun(4), fast);
+  MonolithicSimulation sim_slow(TestCluster(), ShortRun(4), slow);
+  sim_fast.Run();
+  sim_slow.Run();
+  EXPECT_GT(sim_slow.scheduler().metrics().Busyness(sim_slow.EndTime()).mean,
+            sim_fast.scheduler().metrics().Busyness(sim_fast.EndTime()).mean);
+}
+
+TEST(MonolithicTest, HeadOfLineBlocking) {
+  // Single-path with slow decisions for everyone: batch jobs queue behind
+  // service jobs, so batch wait time explodes relative to the multi-path
+  // configuration with a fast batch path (§4.1).
+  SchedulerConfig single_path;
+  single_path.batch_times.t_job = Duration::FromSeconds(20.0);
+  single_path.service_times.t_job = Duration::FromSeconds(20.0);
+
+  SchedulerConfig multi_path;
+  multi_path.batch_times.t_job = Duration::FromSeconds(0.1);
+  multi_path.service_times.t_job = Duration::FromSeconds(20.0);
+
+  MonolithicSimulation single(TestCluster(), ShortRun(5), single_path);
+  MonolithicSimulation multi(TestCluster(), ShortRun(5), multi_path);
+  single.Run();
+  multi.Run();
+  EXPECT_GT(single.scheduler().metrics().MeanWait(JobType::kBatch),
+            10.0 * multi.scheduler().metrics().MeanWait(JobType::kBatch));
+}
+
+TEST(MonolithicTest, WaitTimeIsUntilFirstAttempt) {
+  // With a nearly idle scheduler, wait times should be ~0 even though
+  // decision times are long (wait measures queueing, not deciding; §4).
+  ClusterConfig cfg = TestCluster();
+  cfg.batch.interarrival_mean_secs = 500.0;
+  cfg.service.interarrival_mean_secs = 1000.0;
+  SchedulerConfig sched;
+  sched.batch_times.t_job = Duration::FromSeconds(30.0);
+  MonolithicSimulation sim(cfg, ShortRun(6), sched);
+  sim.Run();
+  EXPECT_LT(sim.scheduler().metrics().MeanWait(JobType::kBatch), 10.0);
+}
+
+TEST(MonolithicTest, AbandonsAfterMaxAttempts) {
+  // A cluster too small for its workload: jobs larger than the cell burn
+  // their 1,000 attempts and are abandoned.
+  ClusterConfig cfg = TestCluster(2);
+  cfg.initial_utilization = 0.9;
+  cfg.batch.interarrival_mean_secs = 10.0;
+  cfg.batch.tasks_per_job = std::make_shared<ConstantDist>(500.0);
+  cfg.batch.cpus_per_task = std::make_shared<ConstantDist>(1.0);
+  cfg.batch.mem_gb_per_task = std::make_shared<ConstantDist>(1.0);
+  cfg.batch.task_duration_secs = std::make_shared<ConstantDist>(100000.0);
+  SchedulerConfig sched;
+  sched.max_attempts = 5;
+  sched.no_progress_backoff = Duration::FromSeconds(1);
+  MonolithicSimulation sim(cfg, ShortRun(7), sched);
+  sim.Run();
+  EXPECT_GT(sim.scheduler().metrics().JobsAbandonedTotal(), 0);
+}
+
+TEST(MonolithicTest, ResourceLimitCapsHeldResources) {
+  ClusterConfig cfg = TestCluster();
+  SchedulerConfig sched;
+  // A tiny limit: nothing sizable can be held, so most jobs are abandoned.
+  sched.resource_limit = Resources{1.0, 4.0};
+  sched.max_attempts = 3;
+  sched.no_progress_backoff = Duration::FromSeconds(1);
+  MonolithicSimulation sim(cfg, ShortRun(8), sched);
+  sim.Run();
+  // The scheduler never holds more than the limit's worth of running tasks.
+  EXPECT_LE(sim.cell().TotalAllocated().cpus,
+            1.0 + cfg.num_machines * cfg.machine_capacity.cpus *
+                      cfg.initial_utilization);
+  EXPECT_GT(sim.scheduler().metrics().JobsAbandonedTotal(), 0);
+}
+
+TEST(MonolithicTest, UtilizationSeriesRecorded) {
+  SimOptions opts = ShortRun(9);
+  opts.utilization_sample_interval = Duration::FromMinutes(10);
+  MonolithicSimulation sim(TestCluster(), opts, SchedulerConfig{});
+  sim.Run();
+  const auto& series = sim.utilization_series();
+  ASSERT_GT(series.size(), 10u);
+  for (size_t i = 1; i < series.size(); ++i) {
+    EXPECT_GT(series[i].time_hours, series[i - 1].time_hours);
+    EXPECT_GE(series[i].cpu, 0.0);
+    EXPECT_LE(series[i].cpu, 1.0);
+  }
+}
+
+}  // namespace
+}  // namespace omega

@@ -1,0 +1,132 @@
+#include "src/common/random.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+namespace omega {
+namespace {
+
+TEST(RngTest, DeterministicForSeed) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_EQ(a.Next(), b.Next());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.Next() == b.Next()) {
+      ++same;
+    }
+  }
+  EXPECT_EQ(same, 0);
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 100000; ++i) {
+    const double x = rng.NextDouble();
+    EXPECT_GE(x, 0.0);
+    EXPECT_LT(x, 1.0);
+  }
+}
+
+TEST(RngTest, NextDoubleMeanNearHalf) {
+  Rng rng(11);
+  double sum = 0.0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) {
+    sum += rng.NextDouble();
+  }
+  EXPECT_NEAR(sum / n, 0.5, 0.005);
+}
+
+TEST(RngTest, NextBoundedInRange) {
+  Rng rng(3);
+  for (uint64_t bound : {1ULL, 2ULL, 7ULL, 1000ULL, 1ULL << 40}) {
+    for (int i = 0; i < 1000; ++i) {
+      EXPECT_LT(rng.NextBounded(bound), bound);
+    }
+  }
+}
+
+TEST(RngTest, NextBoundedCoversAllValues) {
+  Rng rng(5);
+  std::set<uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    seen.insert(rng.NextBounded(8));
+  }
+  EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(RngTest, NextBoundedApproximatelyUniform) {
+  Rng rng(13);
+  constexpr uint64_t kBound = 10;
+  constexpr int kSamples = 100000;
+  std::vector<int> counts(kBound, 0);
+  for (int i = 0; i < kSamples; ++i) {
+    ++counts[rng.NextBounded(kBound)];
+  }
+  for (uint64_t v = 0; v < kBound; ++v) {
+    EXPECT_NEAR(counts[v], kSamples / kBound, kSamples * 0.01);
+  }
+}
+
+TEST(RngTest, NextBoolProbability) {
+  Rng rng(17);
+  int trues = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    if (rng.NextBool(0.3)) {
+      ++trues;
+    }
+  }
+  EXPECT_NEAR(static_cast<double>(trues) / n, 0.3, 0.01);
+}
+
+TEST(RngTest, NextBoolEdgeCases) {
+  Rng rng(19);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.NextBool(0.0));
+    EXPECT_TRUE(rng.NextBool(1.0));
+    EXPECT_FALSE(rng.NextBool(-0.5));
+    EXPECT_TRUE(rng.NextBool(1.5));
+  }
+}
+
+TEST(RngTest, NextRangeWithinBounds) {
+  Rng rng(23);
+  for (int i = 0; i < 10000; ++i) {
+    const double x = rng.NextRange(-3.0, 5.0);
+    EXPECT_GE(x, -3.0);
+    EXPECT_LT(x, 5.0);
+  }
+}
+
+TEST(RngTest, ForkProducesIndependentStream) {
+  Rng parent(29);
+  Rng child = parent.Fork();
+  // The child stream should not be a shifted copy of the parent's.
+  int matches = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (parent.Next() == child.Next()) {
+      ++matches;
+    }
+  }
+  EXPECT_EQ(matches, 0);
+}
+
+TEST(RngTest, SatisfiesUniformRandomBitGenerator) {
+  static_assert(std::uniform_random_bit_generator<Rng>);
+  EXPECT_EQ(Rng::min(), 0u);
+  EXPECT_EQ(Rng::max(), ~0ULL);
+}
+
+}  // namespace
+}  // namespace omega

@@ -1,0 +1,69 @@
+#include "src/cluster/resources.h"
+
+#include <gtest/gtest.h>
+
+namespace omega {
+namespace {
+
+TEST(ResourcesTest, Arithmetic) {
+  const Resources a{2.0, 8.0};
+  const Resources b{1.0, 4.0};
+  EXPECT_EQ(a + b, (Resources{3.0, 12.0}));
+  EXPECT_EQ(a - b, (Resources{1.0, 4.0}));
+  EXPECT_EQ(a * 2.0, (Resources{4.0, 16.0}));
+  Resources c = a;
+  c += b;
+  EXPECT_EQ(c, (Resources{3.0, 12.0}));
+  c -= b;
+  EXPECT_EQ(c, a);
+}
+
+TEST(ResourcesTest, FitsInBothDimensions) {
+  const Resources cap{4.0, 16.0};
+  EXPECT_TRUE((Resources{4.0, 16.0}).FitsIn(cap));
+  EXPECT_TRUE((Resources{0.0, 0.0}).FitsIn(cap));
+  EXPECT_FALSE((Resources{4.1, 1.0}).FitsIn(cap));
+  EXPECT_FALSE((Resources{1.0, 16.1}).FitsIn(cap));
+}
+
+TEST(ResourcesTest, FitsInToleratesFloatDrift) {
+  // Repeated add/subtract cycles leave sub-epsilon residue; FitsIn must not
+  // reject because of it.
+  Resources used{0.0, 0.0};
+  const Resources task{0.1, 0.3};
+  for (int i = 0; i < 10; ++i) {
+    used += task;
+  }
+  for (int i = 0; i < 10; ++i) {
+    used -= task;
+  }
+  const Resources cap{1.0, 3.0};
+  EXPECT_TRUE((Resources{1.0, 3.0} + used).FitsIn(cap));
+}
+
+TEST(ResourcesTest, IsZeroAndNegative) {
+  EXPECT_TRUE(Resources::Zero().IsZero());
+  EXPECT_FALSE((Resources{0.5, 0.0}).IsZero());
+  EXPECT_FALSE(Resources::Zero().IsNegative());
+  EXPECT_TRUE((Resources{-0.5, 1.0}).IsNegative());
+  EXPECT_TRUE((Resources{1.0, -0.5}).IsNegative());
+}
+
+TEST(ResourcesTest, ClampNonNegative) {
+  EXPECT_EQ((Resources{-1.0, 2.0}).ClampNonNegative(), (Resources{0.0, 2.0}));
+}
+
+TEST(ResourcesTest, DominantShareTakesMax) {
+  const Resources total{100.0, 1000.0};
+  // 10% CPU, 50% RAM -> dominant share is the RAM share.
+  EXPECT_DOUBLE_EQ((Resources{10.0, 500.0}).DominantShare(total), 0.5);
+  // 20% CPU, 1% RAM -> dominant share is the CPU share.
+  EXPECT_DOUBLE_EQ((Resources{20.0, 10.0}).DominantShare(total), 0.2);
+}
+
+TEST(ResourcesTest, DominantShareZeroTotal) {
+  EXPECT_DOUBLE_EQ((Resources{1.0, 1.0}).DominantShare(Resources::Zero()), 0.0);
+}
+
+}  // namespace
+}  // namespace omega

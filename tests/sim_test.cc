@@ -1,0 +1,172 @@
+#include "src/sim/simulator.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/common/random.h"
+#include "src/sim/event_queue.h"
+
+namespace omega {
+namespace {
+
+TEST(EventQueueTest, OrdersByTime) {
+  EventQueue q;
+  std::vector<int> order;
+  q.Push(SimTime(30), [&] { order.push_back(3); });
+  q.Push(SimTime(10), [&] { order.push_back(1); });
+  q.Push(SimTime(20), [&] { order.push_back(2); });
+  while (!q.Empty()) {
+    SimTime t;
+    q.Pop(&t)();
+  }
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueueTest, TieBreaksByInsertionOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    q.Push(SimTime(5), [&order, i] { order.push_back(i); });
+  }
+  while (!q.Empty()) {
+    q.Pop(nullptr)();
+  }
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(order[i], i);
+  }
+}
+
+TEST(EventQueueTest, CancelPreventsExecution) {
+  EventQueue q;
+  bool fired = false;
+  const EventId id = q.Push(SimTime(1), [&] { fired = true; });
+  EXPECT_TRUE(q.Cancel(id));
+  EXPECT_TRUE(q.Empty());
+  EXPECT_FALSE(fired);
+}
+
+TEST(EventQueueTest, CancelUnknownIdIsNoop) {
+  EventQueue q;
+  EXPECT_FALSE(q.Cancel(12345));
+}
+
+TEST(EventQueueTest, CancelAfterPopIsNoop) {
+  EventQueue q;
+  const EventId id = q.Push(SimTime(1), [] {});
+  q.Pop(nullptr);
+  EXPECT_FALSE(q.Cancel(id));
+}
+
+TEST(EventQueueTest, PendingCountExcludesCancelled) {
+  EventQueue q;
+  q.Push(SimTime(1), [] {});
+  const EventId id = q.Push(SimTime(2), [] {});
+  EXPECT_EQ(q.PendingCount(), 2u);
+  q.Cancel(id);
+  EXPECT_EQ(q.PendingCount(), 1u);
+}
+
+TEST(EventQueueTest, PeekSkipsCancelledHead) {
+  EventQueue q;
+  const EventId id = q.Push(SimTime(1), [] {});
+  q.Push(SimTime(5), [] {});
+  q.Cancel(id);
+  EXPECT_EQ(q.PeekTime(), SimTime(5));
+}
+
+TEST(SimulatorTest, ClockAdvancesToEventTime) {
+  Simulator sim;
+  SimTime seen;
+  sim.ScheduleAt(SimTime::FromSeconds(3), [&] { seen = sim.Now(); });
+  sim.Run();
+  EXPECT_EQ(seen, SimTime::FromSeconds(3));
+  EXPECT_EQ(sim.Now(), SimTime::FromSeconds(3));
+}
+
+TEST(SimulatorTest, ScheduleAfterUsesRelativeDelay) {
+  Simulator sim;
+  std::vector<double> times;
+  sim.ScheduleAt(SimTime::FromSeconds(1), [&] {
+    times.push_back(sim.Now().ToSeconds());
+    sim.ScheduleAfter(Duration::FromSeconds(2),
+                      [&] { times.push_back(sim.Now().ToSeconds()); });
+  });
+  sim.Run();
+  ASSERT_EQ(times.size(), 2u);
+  EXPECT_DOUBLE_EQ(times[0], 1.0);
+  EXPECT_DOUBLE_EQ(times[1], 3.0);
+}
+
+TEST(SimulatorTest, RunUntilStopsAtBoundary) {
+  Simulator sim;
+  int fired = 0;
+  sim.ScheduleAt(SimTime::FromSeconds(1), [&] { ++fired; });
+  sim.ScheduleAt(SimTime::FromSeconds(2), [&] { ++fired; });
+  sim.ScheduleAt(SimTime::FromSeconds(3), [&] { ++fired; });
+  const int64_t processed = sim.RunUntil(SimTime::FromSeconds(2));
+  EXPECT_EQ(processed, 2);
+  EXPECT_EQ(fired, 2);
+  // Clock lands exactly on the horizon even though an event remains.
+  EXPECT_EQ(sim.Now(), SimTime::FromSeconds(2));
+  EXPECT_EQ(sim.PendingEvents(), 1u);
+}
+
+TEST(SimulatorTest, EventAtHorizonExecutes) {
+  Simulator sim;
+  bool fired = false;
+  sim.ScheduleAt(SimTime::FromSeconds(5), [&] { fired = true; });
+  sim.RunUntil(SimTime::FromSeconds(5));
+  EXPECT_TRUE(fired);
+}
+
+TEST(SimulatorTest, CancelledEventDoesNotRun) {
+  Simulator sim;
+  bool fired = false;
+  const EventId id = sim.ScheduleAt(SimTime::FromSeconds(1), [&] { fired = true; });
+  EXPECT_TRUE(sim.Cancel(id));
+  sim.Run();
+  EXPECT_FALSE(fired);
+}
+
+TEST(SimulatorTest, EventsScheduledDuringRunExecuteInOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.ScheduleAt(SimTime(10), [&] {
+    order.push_back(1);
+    // Same-time follow-up runs after already-queued same-time events.
+    sim.ScheduleAt(SimTime(10), [&] { order.push_back(3); });
+  });
+  sim.ScheduleAt(SimTime(10), [&] { order.push_back(2); });
+  sim.Run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(SimulatorDeathTest, SchedulingIntoThePastAborts) {
+  Simulator sim;
+  sim.ScheduleAt(SimTime::FromSeconds(10), [&] {
+    sim.ScheduleAt(SimTime::FromSeconds(1), [] {});
+  });
+  EXPECT_DEATH(sim.Run(), "scheduling into the past");
+}
+
+TEST(SimulatorTest, ManyEventsStressOrdering) {
+  Simulator sim;
+  int64_t last = -1;
+  bool monotone = true;
+  Rng rng(99);
+  for (int i = 0; i < 20000; ++i) {
+    const auto t = SimTime(static_cast<int64_t>(rng.NextBounded(1000000)));
+    sim.ScheduleAt(t, [&, t] {
+      if (t.micros() < last) {
+        monotone = false;
+      }
+      last = t.micros();
+    });
+  }
+  sim.Run();
+  EXPECT_TRUE(monotone);
+}
+
+}  // namespace
+}  // namespace omega

@@ -1,0 +1,199 @@
+#include "src/common/stats.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/common/random.h"
+
+namespace omega {
+namespace {
+
+TEST(RunningStatsTest, BasicMoments) {
+  RunningStats s;
+  for (double x : {1.0, 2.0, 3.0, 4.0, 5.0}) {
+    s.Add(x);
+  }
+  EXPECT_EQ(s.count(), 5);
+  EXPECT_DOUBLE_EQ(s.mean(), 3.0);
+  EXPECT_DOUBLE_EQ(s.min(), 1.0);
+  EXPECT_DOUBLE_EQ(s.max(), 5.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 2.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 15.0);
+}
+
+TEST(RunningStatsTest, EmptyIsZero) {
+  RunningStats s;
+  EXPECT_EQ(s.count(), 0);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.variance(), 0.0);
+}
+
+TEST(RunningStatsTest, MergeMatchesSequential) {
+  Rng rng(1);
+  RunningStats a;
+  RunningStats b;
+  RunningStats all;
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.NextRange(-10, 10);
+    (i % 2 == 0 ? a : b).Add(x);
+    all.Add(x);
+  }
+  a.Merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-9);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-9);
+  EXPECT_DOUBLE_EQ(a.min(), all.min());
+  EXPECT_DOUBLE_EQ(a.max(), all.max());
+}
+
+TEST(RunningStatsTest, MergeWithEmpty) {
+  RunningStats a;
+  a.Add(5.0);
+  RunningStats empty;
+  a.Merge(empty);
+  EXPECT_EQ(a.count(), 1);
+  RunningStats b;
+  b.Merge(a);
+  EXPECT_EQ(b.count(), 1);
+  EXPECT_DOUBLE_EQ(b.mean(), 5.0);
+}
+
+TEST(PercentileTest, KnownValues) {
+  std::vector<double> v{1, 2, 3, 4, 5, 6, 7, 8, 9, 10};
+  EXPECT_DOUBLE_EQ(Percentile(v, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(Percentile(v, 1.0), 10.0);
+  EXPECT_DOUBLE_EQ(Percentile(v, 0.5), 5.5);
+  EXPECT_DOUBLE_EQ(Median(v), 5.5);
+}
+
+TEST(PercentileTest, EmptyAndSingle) {
+  EXPECT_EQ(Percentile({}, 0.5), 0.0);
+  EXPECT_EQ(Percentile({7.0}, 0.9), 7.0);
+}
+
+TEST(PercentileTest, UnsortedInput) {
+  EXPECT_DOUBLE_EQ(Median({5, 1, 3}), 3.0);
+}
+
+TEST(MadTest, KnownValue) {
+  // median = 3; |x - 3| = {2,1,0,1,2}; MAD = 1.
+  EXPECT_DOUBLE_EQ(MedianAbsoluteDeviation({1, 2, 3, 4, 5}), 1.0);
+}
+
+TEST(MadTest, ConstantSeriesIsZero) {
+  EXPECT_DOUBLE_EQ(MedianAbsoluteDeviation({4, 4, 4, 4}), 0.0);
+}
+
+TEST(MadTest, RobustToOutlier) {
+  // One huge outlier barely moves the MAD, unlike the standard deviation.
+  const double mad = MedianAbsoluteDeviation({1, 2, 3, 4, 1000});
+  EXPECT_LE(mad, 2.0);
+}
+
+TEST(CdfTest, FractionAtOrBelow) {
+  Cdf cdf;
+  for (double x : {1.0, 2.0, 3.0, 4.0}) {
+    cdf.Add(x);
+  }
+  EXPECT_DOUBLE_EQ(cdf.FractionAtOrBelow(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(cdf.FractionAtOrBelow(1.0), 0.25);
+  EXPECT_DOUBLE_EQ(cdf.FractionAtOrBelow(2.5), 0.5);
+  EXPECT_DOUBLE_EQ(cdf.FractionAtOrBelow(4.0), 1.0);
+  EXPECT_DOUBLE_EQ(cdf.FractionAtOrBelow(100.0), 1.0);
+}
+
+TEST(CdfTest, QuantileInverse) {
+  Cdf cdf;
+  for (int i = 1; i <= 100; ++i) {
+    cdf.Add(i);
+  }
+  EXPECT_NEAR(cdf.Quantile(0.9), 90.0, 1.0);
+  EXPECT_DOUBLE_EQ(cdf.MinValue(), 1.0);
+  EXPECT_DOUBLE_EQ(cdf.MaxValue(), 100.0);
+  EXPECT_DOUBLE_EQ(cdf.MeanValue(), 50.5);
+}
+
+TEST(CdfTest, AddNWeights) {
+  Cdf cdf;
+  cdf.AddN(1.0, 3);
+  cdf.AddN(2.0, 1);
+  EXPECT_EQ(cdf.count(), 4u);
+  EXPECT_DOUBLE_EQ(cdf.FractionAtOrBelow(1.0), 0.75);
+}
+
+TEST(CdfTest, EmptyBehaviour) {
+  Cdf cdf;
+  EXPECT_TRUE(cdf.empty());
+  EXPECT_EQ(cdf.FractionAtOrBelow(1.0), 0.0);
+  EXPECT_EQ(cdf.MeanValue(), 0.0);
+}
+
+TEST(CdfTest, AddAfterQueryResorts) {
+  Cdf cdf;
+  cdf.Add(5.0);
+  EXPECT_DOUBLE_EQ(cdf.FractionAtOrBelow(5.0), 1.0);
+  cdf.Add(1.0);
+  EXPECT_DOUBLE_EQ(cdf.FractionAtOrBelow(1.0), 0.5);
+}
+
+TEST(CdfTest, EvaluateMultiplePoints) {
+  Cdf cdf;
+  for (int i = 1; i <= 10; ++i) {
+    cdf.Add(i);
+  }
+  const auto fracs = cdf.Evaluate({0.0, 5.0, 10.0});
+  ASSERT_EQ(fracs.size(), 3u);
+  EXPECT_DOUBLE_EQ(fracs[0], 0.0);
+  EXPECT_DOUBLE_EQ(fracs[1], 0.5);
+  EXPECT_DOUBLE_EQ(fracs[2], 1.0);
+}
+
+TEST(HistogramTest, BucketAssignment) {
+  Histogram h(0.0, 10.0, 10);
+  h.Add(0.5);
+  h.Add(9.5);
+  h.Add(5.0);
+  EXPECT_EQ(h.TotalCount(), 3);
+  EXPECT_EQ(h.BucketCount(0), 1);
+  EXPECT_EQ(h.BucketCount(9), 1);
+  EXPECT_EQ(h.BucketCount(5), 1);
+  EXPECT_DOUBLE_EQ(h.BucketLow(5), 5.0);
+  EXPECT_DOUBLE_EQ(h.BucketHigh(5), 6.0);
+}
+
+TEST(HistogramTest, OutOfRangeClamped) {
+  Histogram h(0.0, 10.0, 5);
+  h.Add(-100.0);
+  h.Add(100.0);
+  EXPECT_EQ(h.BucketCount(0), 1);
+  EXPECT_EQ(h.BucketCount(4), 1);
+}
+
+// Property: Percentile agrees with a brute-force rank computation at the
+// order statistics themselves, across random data sets.
+class PercentilePropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(PercentilePropertyTest, MatchesOrderStatistics) {
+  Rng rng(GetParam());
+  std::vector<double> data;
+  const int n = 1 + static_cast<int>(rng.NextBounded(500));
+  for (int i = 0; i < n; ++i) {
+    data.push_back(rng.NextRange(-1000, 1000));
+  }
+  std::vector<double> sorted = data;
+  std::sort(sorted.begin(), sorted.end());
+  for (size_t k = 0; k < sorted.size(); ++k) {
+    const double q = sorted.size() == 1
+                         ? 0.5
+                         : static_cast<double>(k) / (sorted.size() - 1);
+    EXPECT_NEAR(Percentile(data, q), sorted[k], 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PercentilePropertyTest,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+}  // namespace
+}  // namespace omega
