@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_surface.dir/fig10_surface.cc.o"
+  "CMakeFiles/fig10_surface.dir/fig10_surface.cc.o.d"
+  "fig10_surface"
+  "fig10_surface.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_surface.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_hifi_surface.dir/fig11_hifi_surface.cc.o"
+  "CMakeFiles/fig11_hifi_surface.dir/fig11_hifi_surface.cc.o.d"
+  "fig11_hifi_surface"
+  "fig11_hifi_surface.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_hifi_surface.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_hifi_cluster_b.dir/fig12_hifi_cluster_b.cc.o"
+  "CMakeFiles/fig12_hifi_cluster_b.dir/fig12_hifi_cluster_b.cc.o.d"
+  "fig12_hifi_cluster_b"
+  "fig12_hifi_cluster_b.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_hifi_cluster_b.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13_hifi_load_balance.dir/fig13_hifi_load_balance.cc.o"
+  "CMakeFiles/fig13_hifi_load_balance.dir/fig13_hifi_load_balance.cc.o.d"
+  "fig13_hifi_load_balance"
+  "fig13_hifi_load_balance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_hifi_load_balance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig14_conflict_modes.dir/fig14_conflict_modes.cc.o"
+  "CMakeFiles/fig14_conflict_modes.dir/fig14_conflict_modes.cc.o.d"
+  "fig14_conflict_modes"
+  "fig14_conflict_modes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14_conflict_modes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig15_mapreduce_speedup.dir/fig15_mapreduce_speedup.cc.o"
+  "CMakeFiles/fig15_mapreduce_speedup.dir/fig15_mapreduce_speedup.cc.o.d"
+  "fig15_mapreduce_speedup"
+  "fig15_mapreduce_speedup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig15_mapreduce_speedup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

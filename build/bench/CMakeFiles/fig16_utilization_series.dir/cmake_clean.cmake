@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig16_utilization_series.dir/fig16_utilization_series.cc.o"
+  "CMakeFiles/fig16_utilization_series.dir/fig16_utilization_series.cc.o.d"
+  "fig16_utilization_series"
+  "fig16_utilization_series.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig16_utilization_series.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

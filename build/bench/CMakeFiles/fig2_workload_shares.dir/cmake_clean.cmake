@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_workload_shares.dir/fig2_workload_shares.cc.o"
+  "CMakeFiles/fig2_workload_shares.dir/fig2_workload_shares.cc.o.d"
+  "fig2_workload_shares"
+  "fig2_workload_shares.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_workload_shares.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig4_tasks_per_job_cdf.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_busyness.dir/fig6_busyness.cc.o"
+  "CMakeFiles/fig6_busyness.dir/fig6_busyness.cc.o.d"
+  "fig6_busyness"
+  "fig6_busyness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_busyness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_mesos.dir/fig7_mesos.cc.o"
+  "CMakeFiles/fig7_mesos.dir/fig7_mesos.cc.o.d"
+  "fig7_mesos"
+  "fig7_mesos.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_mesos.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9_multi_scheduler.dir/fig9_multi_scheduler.cc.o"
+  "CMakeFiles/fig9_multi_scheduler.dir/fig9_multi_scheduler.cc.o.d"
+  "fig9_multi_scheduler"
+  "fig9_multi_scheduler.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_multi_scheduler.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

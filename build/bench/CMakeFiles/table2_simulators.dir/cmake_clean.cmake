@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_simulators.dir/table2_simulators.cc.o"
+  "CMakeFiles/table2_simulators.dir/table2_simulators.cc.o.d"
+  "table2_simulators"
+  "table2_simulators.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_simulators.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mapreduce_autoscaler.dir/mapreduce_autoscaler.cc.o"
+  "CMakeFiles/mapreduce_autoscaler.dir/mapreduce_autoscaler.cc.o.d"
+  "mapreduce_autoscaler"
+  "mapreduce_autoscaler.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mapreduce_autoscaler.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

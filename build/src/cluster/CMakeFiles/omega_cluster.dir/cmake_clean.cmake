@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/omega_cluster.dir/cell_state.cc.o"
+  "CMakeFiles/omega_cluster.dir/cell_state.cc.o.d"
+  "CMakeFiles/omega_cluster.dir/task_registry.cc.o"
+  "CMakeFiles/omega_cluster.dir/task_registry.cc.o.d"
+  "libomega_cluster.a"
+  "libomega_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/omega_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

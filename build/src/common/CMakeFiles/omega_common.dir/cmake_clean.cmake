@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/omega_common.dir/distributions.cc.o"
+  "CMakeFiles/omega_common.dir/distributions.cc.o.d"
+  "CMakeFiles/omega_common.dir/logging.cc.o"
+  "CMakeFiles/omega_common.dir/logging.cc.o.d"
+  "CMakeFiles/omega_common.dir/parallel_for.cc.o"
+  "CMakeFiles/omega_common.dir/parallel_for.cc.o.d"
+  "CMakeFiles/omega_common.dir/random.cc.o"
+  "CMakeFiles/omega_common.dir/random.cc.o.d"
+  "CMakeFiles/omega_common.dir/stats.cc.o"
+  "CMakeFiles/omega_common.dir/stats.cc.o.d"
+  "libomega_common.a"
+  "libomega_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/omega_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

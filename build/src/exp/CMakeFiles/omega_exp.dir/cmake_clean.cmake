@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/omega_exp.dir/experiment.cc.o"
+  "CMakeFiles/omega_exp.dir/experiment.cc.o.d"
+  "libomega_exp.a"
+  "libomega_exp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/omega_exp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

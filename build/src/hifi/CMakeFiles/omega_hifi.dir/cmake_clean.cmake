@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/omega_hifi.dir/hifi_simulation.cc.o"
+  "CMakeFiles/omega_hifi.dir/hifi_simulation.cc.o.d"
+  "CMakeFiles/omega_hifi.dir/scoring_placer.cc.o"
+  "CMakeFiles/omega_hifi.dir/scoring_placer.cc.o.d"
+  "libomega_hifi.a"
+  "libomega_hifi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/omega_hifi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mapreduce/mr_scheduler.cc" "src/mapreduce/CMakeFiles/omega_mapreduce.dir/mr_scheduler.cc.o" "gcc" "src/mapreduce/CMakeFiles/omega_mapreduce.dir/mr_scheduler.cc.o.d"
+  "/root/repo/src/mapreduce/perf_model.cc" "src/mapreduce/CMakeFiles/omega_mapreduce.dir/perf_model.cc.o" "gcc" "src/mapreduce/CMakeFiles/omega_mapreduce.dir/perf_model.cc.o.d"
+  "/root/repo/src/mapreduce/policy.cc" "src/mapreduce/CMakeFiles/omega_mapreduce.dir/policy.cc.o" "gcc" "src/mapreduce/CMakeFiles/omega_mapreduce.dir/policy.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/omega/CMakeFiles/omega_omega.dir/DependInfo.cmake"
+  "/root/repo/build/src/scheduler/CMakeFiles/omega_scheduler.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/omega_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/omega_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/omega_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/omega_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

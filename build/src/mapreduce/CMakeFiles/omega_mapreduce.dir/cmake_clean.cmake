@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/omega_mapreduce.dir/mr_scheduler.cc.o"
+  "CMakeFiles/omega_mapreduce.dir/mr_scheduler.cc.o.d"
+  "CMakeFiles/omega_mapreduce.dir/perf_model.cc.o"
+  "CMakeFiles/omega_mapreduce.dir/perf_model.cc.o.d"
+  "CMakeFiles/omega_mapreduce.dir/policy.cc.o"
+  "CMakeFiles/omega_mapreduce.dir/policy.cc.o.d"
+  "libomega_mapreduce.a"
+  "libomega_mapreduce.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/omega_mapreduce.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/omega_mesos.dir/mesos_simulation.cc.o"
+  "CMakeFiles/omega_mesos.dir/mesos_simulation.cc.o.d"
+  "libomega_mesos.a"
+  "libomega_mesos.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/omega_mesos.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/omega_omega.dir/audit.cc.o"
+  "CMakeFiles/omega_omega.dir/audit.cc.o.d"
+  "CMakeFiles/omega_omega.dir/omega_scheduler.cc.o"
+  "CMakeFiles/omega_omega.dir/omega_scheduler.cc.o.d"
+  "libomega_omega.a"
+  "libomega_omega.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/omega_omega.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

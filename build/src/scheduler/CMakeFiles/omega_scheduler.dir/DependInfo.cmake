@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/scheduler/cluster_simulation.cc" "src/scheduler/CMakeFiles/omega_scheduler.dir/cluster_simulation.cc.o" "gcc" "src/scheduler/CMakeFiles/omega_scheduler.dir/cluster_simulation.cc.o.d"
+  "/root/repo/src/scheduler/metrics.cc" "src/scheduler/CMakeFiles/omega_scheduler.dir/metrics.cc.o" "gcc" "src/scheduler/CMakeFiles/omega_scheduler.dir/metrics.cc.o.d"
+  "/root/repo/src/scheduler/monolithic.cc" "src/scheduler/CMakeFiles/omega_scheduler.dir/monolithic.cc.o" "gcc" "src/scheduler/CMakeFiles/omega_scheduler.dir/monolithic.cc.o.d"
+  "/root/repo/src/scheduler/partitioned.cc" "src/scheduler/CMakeFiles/omega_scheduler.dir/partitioned.cc.o" "gcc" "src/scheduler/CMakeFiles/omega_scheduler.dir/partitioned.cc.o.d"
+  "/root/repo/src/scheduler/placement.cc" "src/scheduler/CMakeFiles/omega_scheduler.dir/placement.cc.o" "gcc" "src/scheduler/CMakeFiles/omega_scheduler.dir/placement.cc.o.d"
+  "/root/repo/src/scheduler/queue_scheduler.cc" "src/scheduler/CMakeFiles/omega_scheduler.dir/queue_scheduler.cc.o" "gcc" "src/scheduler/CMakeFiles/omega_scheduler.dir/queue_scheduler.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/cluster/CMakeFiles/omega_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/omega_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/omega_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/omega_workload.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/omega_scheduler.dir/cluster_simulation.cc.o"
+  "CMakeFiles/omega_scheduler.dir/cluster_simulation.cc.o.d"
+  "CMakeFiles/omega_scheduler.dir/metrics.cc.o"
+  "CMakeFiles/omega_scheduler.dir/metrics.cc.o.d"
+  "CMakeFiles/omega_scheduler.dir/monolithic.cc.o"
+  "CMakeFiles/omega_scheduler.dir/monolithic.cc.o.d"
+  "CMakeFiles/omega_scheduler.dir/partitioned.cc.o"
+  "CMakeFiles/omega_scheduler.dir/partitioned.cc.o.d"
+  "CMakeFiles/omega_scheduler.dir/placement.cc.o"
+  "CMakeFiles/omega_scheduler.dir/placement.cc.o.d"
+  "CMakeFiles/omega_scheduler.dir/queue_scheduler.cc.o"
+  "CMakeFiles/omega_scheduler.dir/queue_scheduler.cc.o.d"
+  "libomega_scheduler.a"
+  "libomega_scheduler.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/omega_scheduler.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/omega_sim.dir/event_queue.cc.o"
+  "CMakeFiles/omega_sim.dir/event_queue.cc.o.d"
+  "CMakeFiles/omega_sim.dir/simulator.cc.o"
+  "CMakeFiles/omega_sim.dir/simulator.cc.o.d"
+  "libomega_sim.a"
+  "libomega_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/omega_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

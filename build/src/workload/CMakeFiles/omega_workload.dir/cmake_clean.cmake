@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/omega_workload.dir/characterization.cc.o"
+  "CMakeFiles/omega_workload.dir/characterization.cc.o.d"
+  "CMakeFiles/omega_workload.dir/cluster_config.cc.o"
+  "CMakeFiles/omega_workload.dir/cluster_config.cc.o.d"
+  "CMakeFiles/omega_workload.dir/generator.cc.o"
+  "CMakeFiles/omega_workload.dir/generator.cc.o.d"
+  "CMakeFiles/omega_workload.dir/trace.cc.o"
+  "CMakeFiles/omega_workload.dir/trace.cc.o.d"
+  "libomega_workload.a"
+  "libomega_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/omega_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

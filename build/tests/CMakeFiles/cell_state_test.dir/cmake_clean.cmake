@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cell_state_test.dir/cell_state_test.cc.o"
+  "CMakeFiles/cell_state_test.dir/cell_state_test.cc.o.d"
+  "cell_state_test"
+  "cell_state_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cell_state_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/common_test.cc" "tests/CMakeFiles/common_test.dir/common_test.cc.o" "gcc" "tests/CMakeFiles/common_test.dir/common_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/exp/CMakeFiles/omega_exp.dir/DependInfo.cmake"
+  "/root/repo/build/src/hifi/CMakeFiles/omega_hifi.dir/DependInfo.cmake"
+  "/root/repo/build/src/mapreduce/CMakeFiles/omega_mapreduce.dir/DependInfo.cmake"
+  "/root/repo/build/src/mesos/CMakeFiles/omega_mesos.dir/DependInfo.cmake"
+  "/root/repo/build/src/omega/CMakeFiles/omega_omega.dir/DependInfo.cmake"
+  "/root/repo/build/src/scheduler/CMakeFiles/omega_scheduler.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/omega_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/omega_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/omega_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/omega_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

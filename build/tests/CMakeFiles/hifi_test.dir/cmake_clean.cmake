@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hifi_test.dir/hifi_test.cc.o"
+  "CMakeFiles/hifi_test.dir/hifi_test.cc.o.d"
+  "hifi_test"
+  "hifi_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hifi_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

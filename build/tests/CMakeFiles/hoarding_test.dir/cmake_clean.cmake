@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hoarding_test.dir/hoarding_test.cc.o"
+  "CMakeFiles/hoarding_test.dir/hoarding_test.cc.o.d"
+  "hoarding_test"
+  "hoarding_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hoarding_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mesos_allocator_test.dir/mesos_allocator_test.cc.o"
+  "CMakeFiles/mesos_allocator_test.dir/mesos_allocator_test.cc.o.d"
+  "mesos_allocator_test"
+  "mesos_allocator_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mesos_allocator_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mesos_test.dir/mesos_test.cc.o"
+  "CMakeFiles/mesos_test.dir/mesos_test.cc.o.d"
+  "mesos_test"
+  "mesos_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mesos_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

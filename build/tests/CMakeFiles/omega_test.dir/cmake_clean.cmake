@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/omega_test.dir/omega_test.cc.o"
+  "CMakeFiles/omega_test.dir/omega_test.cc.o.d"
+  "omega_test"
+  "omega_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/omega_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/queue_scheduler_test.dir/queue_scheduler_test.cc.o"
+  "CMakeFiles/queue_scheduler_test.dir/queue_scheduler_test.cc.o.d"
+  "queue_scheduler_test"
+  "queue_scheduler_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/queue_scheduler_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
