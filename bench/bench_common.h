@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "src/exp/experiment.h"
+#include "src/exp/sweep.h"
 #include "src/scheduler/config.h"
 #include "src/workload/cluster_config.h"
 
@@ -37,6 +38,20 @@ inline void PrintBenchHeader(const std::string& id, const std::string& title,
 // The t_job(service) sweep used by Figures 5-7 and 12 (10 ms .. 100 s).
 inline std::vector<double> TjobSweep(int points = 7) {
   return LogSpace(0.01, 100.0, points);
+}
+
+// Writes the sweep's BENCH_<figure>.json and prints a one-line timing
+// summary (trials, threads, wall-clock, measured speedup vs serial).
+inline void FinishSweep(const SweepRunner& runner) {
+  const std::string path = runner.WriteJson();
+  const SweepReport& rep = runner.report();
+  std::cout << "\nsweep: " << rep.trials << " trials on " << rep.threads
+            << " thread(s) in " << FormatValue(rep.wall_seconds)
+            << " s (speedup vs serial: " << FormatValue(rep.SpeedupVsSerial())
+            << "x); "
+            << (path.empty() ? std::string("JSON write FAILED")
+                             : "wrote " + path)
+            << "\n";
 }
 
 }  // namespace omega

@@ -12,7 +12,6 @@
 #include <iostream>
 
 #include "bench/bench_common.h"
-#include "src/common/parallel_for.h"
 #include "src/mesos/mesos_simulation.h"
 #include "src/omega/omega_scheduler.h"
 #include "src/scheduler/monolithic.h"
@@ -59,14 +58,14 @@ int main() {
       }
     }
   }
-  std::vector<Row> rows(points.size());
-  ParallelFor(
-      points.size(),
-      [&](size_t i) {
-        const Point& p = points[i];
+  SweepRunner runner("fig10", 10000);
+  runner.report().AddMetric("sim_days", horizon.ToDays());
+  const std::vector<Row> rows =
+      runner.Run(points.size(), [&](const TrialContext& ctx) {
+        const Point& p = points[ctx.index];
         SimOptions opts;
         opts.horizon = horizon;
-        opts.seed = 10000 + i;
+        opts.seed = ctx.seed;
         const ClusterConfig cfg = ClusterB();
         Row row;
         row.p = p;
@@ -114,9 +113,8 @@ int main() {
           }
           row.unscheduled = sim.JobsSubmittedTotal() - scheduled;
         }
-        rows[i] = row;
-      },
-      BenchThreads());
+        return row;
+      });
 
   for (const char* scheme :
        {"mono-single", "mono-multi", "mesos", "omega", "omega-coarse-gang"}) {
@@ -143,5 +141,17 @@ int main() {
   }
   std::cout << "\n'*' marks operating points with unscheduled workload "
                "(the paper's red shading).\n";
+  RunningStats busyness;
+  int64_t unscheduled_points = 0;
+  for (const Row& r : rows) {
+    busyness.Add(r.busyness);
+    if (r.unscheduled > 20) {
+      ++unscheduled_points;
+    }
+  }
+  runner.report().AddMetric("busyness_mean", busyness.mean());
+  runner.report().AddMetric("unscheduled_points",
+                            static_cast<double>(unscheduled_points));
+  FinishSweep(runner);
   return 0;
 }

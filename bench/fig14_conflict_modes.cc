@@ -9,7 +9,6 @@
 #include <iostream>
 
 #include "bench/bench_common.h"
-#include "src/common/parallel_for.h"
 #include "src/hifi/hifi_simulation.h"
 
 using namespace omega;
@@ -36,15 +35,20 @@ int main() {
     double t_job;
     double conflict_fraction, busyness;
   };
-  std::vector<Row> rows(modes.size() * t_jobs.size());
-  ParallelFor(
-      rows.size(),
-      [&](size_t i) {
+  SweepRunner runner("fig14", 14000);
+  runner.report().AddMetric("sim_days", horizon.ToDays());
+  const std::vector<Row> rows = runner.Run(
+      modes.size() * t_jobs.size(), [&](const TrialContext& ctx) {
+        const size_t i = ctx.index;
         const Mode& mode = modes[i / t_jobs.size()];
         const double t_job = t_jobs[i % t_jobs.size()];
+        // Paired comparison: every mode sees the same (sim, trace) seeds for
+        // a given t_job, so mode deltas are not noise. Substreams 2k and
+        // 2k+1 of the base seed, not ctx.seed (which differs per trial).
+        const uint64_t pair_index = i % t_jobs.size();
         SimOptions opts;
         opts.horizon = horizon;
-        opts.seed = 14000 + i % t_jobs.size();
+        opts.seed = SubstreamSeed(ctx.base_seed, 2 * pair_index);
         SchedulerConfig service = ServiceConfigWithTjob(t_job);
         service.conflict_mode = mode.conflict;
         service.commit_mode = mode.commit;
@@ -54,15 +58,14 @@ int main() {
         // batch path keeps incremental commits (the paper recommends job-level
         // granularity for gang scheduling).
         auto sim = MakeHifiSimulation(ClusterC(), opts, batch, service);
-        auto trace =
-            GenerateHifiTrace(ClusterC(), horizon, 1400 + i % t_jobs.size());
+        auto trace = GenerateHifiTrace(
+            ClusterC(), horizon, SubstreamSeed(ctx.base_seed, 2 * pair_index + 1));
         sim->RunTrace(std::move(trace));
         const auto& sm = sim->service_scheduler().metrics();
-        rows[i] = Row{mode.name, t_job,
-                      sm.ConflictFraction(sim->EndTime()).mean,
-                      sm.Busyness(sim->EndTime()).median};
-      },
-      BenchThreads());
+        return Row{mode.name, t_job,
+                   sm.ConflictFraction(sim->EndTime()).mean,
+                   sm.Busyness(sim->EndTime()).median};
+      });
 
   std::cout << "\n(a) conflict fraction / (b) service scheduler busyness\n";
   TablePrinter table({"mode", "t_job(service) [s]", "conflict fraction",
@@ -72,5 +75,14 @@ int main() {
                   FormatValue(r.busyness)});
   }
   table.Print(std::cout);
+  RunningStats conflict;
+  RunningStats busyness;
+  for (const Row& r : rows) {
+    conflict.Add(r.conflict_fraction);
+    busyness.Add(r.busyness);
+  }
+  runner.report().AddMetric("conflict_fraction_mean", conflict.mean());
+  runner.report().AddMetric("busyness_mean", busyness.mean());
+  FinishSweep(runner);
   return 0;
 }

@@ -16,7 +16,8 @@ int main() {
   PrintBenchHeader("Figure 5", "job wait time vs t_job(service)",
                    "single-path saturates for all jobs; multi-path/Omega keep "
                    "batch wait low; 30 s SLO is the bar");
-  const auto results = RunFig56Sweep(BenchHorizon(1.0));
+  SweepRunner runner("fig5", kFig56BaseSeed);
+  const auto results = RunFig56Sweep(BenchHorizon(1.0), runner);
   for (const char* arch : {"mono-single", "mono-multi", "omega"}) {
     std::cout << "\n--- " << arch << " ---\n";
     TablePrinter table({"cluster", "t_job(service) [s]", "batch wait [s]",
@@ -32,5 +33,16 @@ int main() {
     }
     table.Print(std::cout);
   }
+  RunningStats batch_wait;
+  RunningStats service_wait;
+  for (const SweepResult& r : results) {
+    batch_wait.Add(r.batch_wait);
+    service_wait.Add(r.service_wait);
+  }
+  runner.report().AddMetric("batch_wait_mean_s", batch_wait.mean());
+  runner.report().AddMetric("batch_wait_max_s", batch_wait.max());
+  runner.report().AddMetric("service_wait_mean_s", service_wait.mean());
+  runner.report().AddMetric("service_wait_max_s", service_wait.max());
+  FinishSweep(runner);
   return 0;
 }

@@ -15,7 +15,8 @@ int main() {
   PrintBenchHeader("Figure 6", "scheduler busyness vs t_job(service)",
                    "single-path scales linearly to saturation; multi-path and "
                    "Omega keep the batch path unaffected");
-  const auto results = RunFig56Sweep(BenchHorizon(1.0));
+  SweepRunner runner("fig6", kFig56BaseSeed);
+  const auto results = RunFig56Sweep(BenchHorizon(1.0), runner);
   for (const char* arch : {"mono-single", "mono-multi", "omega"}) {
     std::cout << "\n--- " << arch << " ---\n";
     TablePrinter table({"cluster", "t_job(service) [s]", "batch busy (+/-MAD)",
@@ -33,5 +34,18 @@ int main() {
     }
     table.Print(std::cout);
   }
+  RunningStats batch_busy;
+  RunningStats service_busy;
+  int64_t abandoned = 0;
+  for (const SweepResult& r : results) {
+    batch_busy.Add(r.batch_busy);
+    service_busy.Add(r.service_busy);
+    abandoned += r.abandoned;
+  }
+  runner.report().AddMetric("batch_busy_mean", batch_busy.mean());
+  runner.report().AddMetric("service_busy_mean", service_busy.mean());
+  runner.report().AddMetric("jobs_abandoned_total",
+                            static_cast<double>(abandoned));
+  FinishSweep(runner);
   return 0;
 }

@@ -8,7 +8,6 @@
 #include <iostream>
 
 #include "bench/bench_common.h"
-#include "src/common/parallel_for.h"
 #include "src/omega/omega_scheduler.h"
 
 using namespace omega;
@@ -34,13 +33,14 @@ int main() {
     double batch_wait, service_wait, batch_busy, service_busy, conflict_fraction;
     int64_t abandoned, submitted, scheduled;
   };
-  std::vector<Row> rows(points.size());
-  ParallelFor(
-      points.size(),
-      [&](size_t i) {
+  SweepRunner runner("fig8", 8000);
+  runner.report().AddMetric("sim_days", horizon.ToDays());
+  const std::vector<Row> rows =
+      runner.Run(points.size(), [&](const TrialContext& ctx) {
+        const size_t i = ctx.index;
         SimOptions opts;
         opts.horizon = horizon;
-        opts.seed = 8000 + i;
+        opts.seed = ctx.seed;
         opts.batch_rate_multiplier = points[i].mult;
         OmegaSimulation sim(ClusterByName(points[i].cluster), opts,
                             DefaultSchedulerConfig("batch"),
@@ -49,17 +49,16 @@ int main() {
         const SimTime end = sim.EndTime();
         const auto& bm = sim.batch_scheduler(0).metrics();
         const auto& sm = sim.service_scheduler().metrics();
-        rows[i] = Row{points[i],
-                      bm.MeanWait(JobType::kBatch),
-                      sm.MeanWait(JobType::kService),
-                      bm.Busyness(end).median,
-                      sm.Busyness(end).median,
-                      sm.ConflictFraction(end).mean,
-                      sim.TotalJobsAbandoned(),
-                      sim.JobsSubmitted(JobType::kBatch),
-                      bm.JobsScheduled(JobType::kBatch)};
-      },
-      BenchThreads());
+        return Row{points[i],
+                   bm.MeanWait(JobType::kBatch),
+                   sm.MeanWait(JobType::kService),
+                   bm.Busyness(end).median,
+                   sm.Busyness(end).median,
+                   sm.ConflictFraction(end).mean,
+                   sim.TotalJobsAbandoned(),
+                   sim.JobsSubmitted(JobType::kBatch),
+                   bm.JobsScheduled(JobType::kBatch)};
+      });
 
   TablePrinter table({"cluster", "rel. rate", "batch wait [s]", "batch busy",
                       "service wait [s]", "service busy", "svc confl frac",
@@ -74,5 +73,18 @@ int main() {
   }
   table.Print(std::cout);
   std::cout << "\nsaturation = busyness near 1.0 with a growing backlog.\n";
+  RunningStats batch_busy;
+  RunningStats conflict;
+  int64_t backlog_total = 0;
+  for (const Row& r : rows) {
+    batch_busy.Add(r.batch_busy);
+    conflict.Add(r.conflict_fraction);
+    backlog_total += r.submitted - r.scheduled - r.abandoned;
+  }
+  runner.report().AddMetric("batch_busy_mean", batch_busy.mean());
+  runner.report().AddMetric("service_conflict_fraction_mean", conflict.mean());
+  runner.report().AddMetric("batch_backlog_total",
+                            static_cast<double>(backlog_total));
+  FinishSweep(runner);
   return 0;
 }

@@ -8,7 +8,6 @@
 #include <iostream>
 
 #include "bench/bench_common.h"
-#include "src/common/parallel_for.h"
 #include "src/omega/omega_scheduler.h"
 
 using namespace omega;
@@ -34,22 +33,22 @@ int main() {
     Point p;
     double conflict_fraction, busyness, wait;
   };
-  std::vector<Row> rows(points.size());
-  ParallelFor(
-      points.size(),
-      [&](size_t i) {
+  SweepRunner runner("fig9", 9000);
+  runner.report().AddMetric("sim_days", horizon.ToDays());
+  const std::vector<Row> rows =
+      runner.Run(points.size(), [&](const TrialContext& ctx) {
+        const size_t i = ctx.index;
         SimOptions opts;
         opts.horizon = horizon;
-        opts.seed = 9000 + i;
+        opts.seed = ctx.seed;
         opts.batch_rate_multiplier = points[i].mult;
         OmegaSimulation sim(ClusterB(), opts, DefaultSchedulerConfig("batch"),
                             DefaultSchedulerConfig("service"),
                             points[i].schedulers);
         sim.Run();
-        rows[i] = Row{points[i], sim.MeanBatchConflictFraction(),
-                      sim.MeanBatchBusyness(), sim.MeanBatchWait()};
-      },
-      BenchThreads());
+        return Row{points[i], sim.MeanBatchConflictFraction(),
+                   sim.MeanBatchBusyness(), sim.MeanBatchWait()};
+      });
 
   TablePrinter table({"batch schedulers", "rel. rate", "mean conflict frac",
                       "mean sched busyness", "mean batch wait [s]"});
@@ -59,5 +58,15 @@ int main() {
                   FormatValue(r.wait)});
   }
   table.Print(std::cout);
+  RunningStats conflict;
+  RunningStats busyness;
+  for (const Row& r : rows) {
+    conflict.Add(r.conflict_fraction);
+    busyness.Add(r.busyness);
+  }
+  runner.report().AddMetric("conflict_fraction_mean", conflict.mean());
+  runner.report().AddMetric("conflict_fraction_max", conflict.max());
+  runner.report().AddMetric("scheduler_busyness_mean", busyness.mean());
+  FinishSweep(runner);
   return 0;
 }

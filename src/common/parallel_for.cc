@@ -1,6 +1,8 @@
 #include "src/common/parallel_for.h"
 
 #include <algorithm>
+#include <exception>
+#include <mutex>
 
 namespace omega {
 
@@ -21,21 +23,38 @@ void ParallelFor(size_t n, const std::function<void(size_t)>& fn,
     return;
   }
   std::atomic<size_t> next{0};
+  // An exception escaping a worker thread would call std::terminate; capture
+  // the first one instead, stop handing out work, and rethrow after the join.
+  std::atomic<bool> abort{false};
+  std::exception_ptr first_error;
+  std::mutex error_mutex;
   std::vector<std::thread> workers;
   workers.reserve(num_threads);
   for (size_t t = 0; t < num_threads; ++t) {
     workers.emplace_back([&] {
-      while (true) {
+      while (!abort.load(std::memory_order_relaxed)) {
         const size_t i = next.fetch_add(1, std::memory_order_relaxed);
         if (i >= n) {
           return;
         }
-        fn(i);
+        try {
+          fn(i);
+        } catch (...) {
+          std::lock_guard<std::mutex> lock(error_mutex);
+          if (first_error == nullptr) {
+            first_error = std::current_exception();
+          }
+          abort.store(true, std::memory_order_relaxed);
+          return;
+        }
       }
     });
   }
   for (auto& w : workers) {
     w.join();
+  }
+  if (first_error != nullptr) {
+    std::rethrow_exception(first_error);
   }
 }
 

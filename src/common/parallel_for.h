@@ -17,6 +17,10 @@ namespace omega {
 // Invokes fn(i) for i in [0, n), distributing iterations over up to
 // `max_threads` worker threads (hardware concurrency if 0). Blocks until all
 // iterations complete. fn must be safe to call concurrently for distinct i.
+//
+// If fn throws, no further iterations are started, remaining workers drain,
+// and the first captured exception is rethrown on the calling thread once all
+// workers have joined. Iterations already in flight still run to completion.
 void ParallelFor(size_t n, const std::function<void(size_t)>& fn,
                  size_t max_threads = 0);
 

@@ -69,4 +69,13 @@ bool Rng::NextBool(double p) {
 
 Rng Rng::Fork() { return Rng(Next()); }
 
+uint64_t SubstreamSeed(uint64_t base_seed, uint64_t stream_index) {
+  // Mix base and index into one word (odd multiplier keeps the mapping from
+  // stream_index injective), then run two SplitMix64 rounds to decorrelate
+  // adjacent indices and adjacent base seeds.
+  uint64_t s = base_seed ^ (0xda942042e4dd58b5ULL * (stream_index + 1));
+  (void)SplitMix64(s);
+  return SplitMix64(s);
+}
+
 }  // namespace omega

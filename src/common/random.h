@@ -45,6 +45,14 @@ class Rng {
   std::array<uint64_t, 4> state_;
 };
 
+// Derives the seed of substream `stream_index` of `base_seed`. Substreams are
+// statistically independent of each other and of the base stream, and the
+// mapping is pure: a (base_seed, stream_index) pair always yields the same
+// seed, regardless of call order. Parallel sweeps use this to give every
+// trial its own RNG stream, making results bit-identical for any thread
+// count.
+uint64_t SubstreamSeed(uint64_t base_seed, uint64_t stream_index);
+
 }  // namespace omega
 
 #endif  // OMEGA_SRC_COMMON_RANDOM_H_

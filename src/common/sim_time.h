@@ -72,6 +72,7 @@ class Duration {
   constexpr int64_t micros() const { return micros_; }
   constexpr double ToSeconds() const { return static_cast<double>(micros_) / 1e6; }
   constexpr double ToHours() const { return ToSeconds() / 3600.0; }
+  constexpr double ToDays() const { return ToHours() / 24.0; }
 
   constexpr auto operator<=>(const Duration&) const = default;
 

@@ -76,53 +76,111 @@ double MedianAbsoluteDeviation(std::vector<double> values) {
 }
 
 void Cdf::AddN(double x, int64_t n) {
-  for (int64_t i = 0; i < n; ++i) {
-    values_.push_back(x);
+  if (n <= 0) {
+    return;
   }
+  runs_.emplace_back(x, n);
+  total_ += n;
+  sorted_ = false;
+}
+
+void Cdf::Merge(const Cdf& other) {
+  if (other.total_ == 0) {
+    return;
+  }
+  runs_.insert(runs_.end(), other.runs_.begin(), other.runs_.end());
+  total_ += other.total_;
   sorted_ = false;
 }
 
 void Cdf::EnsureSorted() const {
-  if (!sorted_) {
-    std::sort(values_.begin(), values_.end());
-    sorted_ = true;
+  if (sorted_) {
+    return;
   }
+  std::sort(runs_.begin(), runs_.end());
+  // Coalesce runs with equal values so rank queries see one entry per value.
+  size_t out = 0;
+  for (size_t i = 0; i < runs_.size(); ++i) {
+    if (out > 0 && runs_[out - 1].first == runs_[i].first) {
+      runs_[out - 1].second += runs_[i].second;
+    } else {
+      runs_[out++] = runs_[i];
+    }
+  }
+  runs_.resize(out);
+  cumulative_.resize(runs_.size());
+  int64_t running = 0;
+  for (size_t i = 0; i < runs_.size(); ++i) {
+    running += runs_[i].second;
+    cumulative_[i] = running;
+  }
+  sorted_ = true;
+}
+
+double Cdf::ValueAtRank(int64_t k) const {
+  // First run whose inclusive cumulative count exceeds k holds the k-th
+  // order statistic.
+  auto it = std::upper_bound(cumulative_.begin(), cumulative_.end(), k);
+  assert(it != cumulative_.end());
+  return runs_[static_cast<size_t>(it - cumulative_.begin())].first;
 }
 
 double Cdf::FractionAtOrBelow(double x) const {
-  if (values_.empty()) {
+  if (total_ == 0) {
     return 0.0;
   }
   EnsureSorted();
-  auto it = std::upper_bound(values_.begin(), values_.end(), x);
-  return static_cast<double>(it - values_.begin()) /
-         static_cast<double>(values_.size());
+  auto it = std::upper_bound(
+      runs_.begin(), runs_.end(), x,
+      [](double v, const std::pair<double, int64_t>& run) { return v < run.first; });
+  if (it == runs_.begin()) {
+    return 0.0;
+  }
+  const size_t idx = static_cast<size_t>(it - runs_.begin()) - 1;
+  return static_cast<double>(cumulative_[idx]) / static_cast<double>(total_);
 }
 
 double Cdf::Quantile(double q) const {
+  if (total_ == 0) {
+    return 0.0;
+  }
   EnsureSorted();
-  return Percentile(values_, q);  // values_ already sorted; Percentile re-sorts, fine.
+  // Same linear interpolation between order statistics as Percentile().
+  q = std::clamp(q, 0.0, 1.0);
+  const double pos = q * static_cast<double>(total_ - 1);
+  const auto lo = static_cast<int64_t>(pos);
+  const int64_t hi = std::min(lo + 1, total_ - 1);
+  const double frac = pos - static_cast<double>(lo);
+  const double v_lo = ValueAtRank(lo);
+  const double v_hi = ValueAtRank(hi);
+  return v_lo + frac * (v_hi - v_lo);
 }
 
 double Cdf::MinValue() const {
+  if (total_ == 0) {
+    return 0.0;
+  }
   EnsureSorted();
-  return values_.empty() ? 0.0 : values_.front();
+  return runs_.front().first;
 }
 
 double Cdf::MaxValue() const {
+  if (total_ == 0) {
+    return 0.0;
+  }
   EnsureSorted();
-  return values_.empty() ? 0.0 : values_.back();
+  return runs_.back().first;
 }
 
 double Cdf::MeanValue() const {
-  if (values_.empty()) {
+  if (total_ == 0) {
     return 0.0;
   }
   double sum = 0.0;
-  for (double v : values_) {
-    sum += v;
+  for (const auto& [value, n] : runs_) {
+    sum += value * static_cast<double>(n);
   }
-  return sum / static_cast<double>(values_.size());
+  return sum / static_cast<double>(total_);
 }
 
 std::vector<double> Cdf::Evaluate(const std::vector<double>& points) const {
@@ -138,12 +196,11 @@ std::string Cdf::ToTable(const std::string& value_label, int num_points,
                          bool log_spaced) const {
   std::ostringstream os;
   os << value_label << "\tCDF\n";
-  if (values_.empty() || num_points < 2) {
+  if (total_ == 0 || num_points < 2) {
     return os.str();
   }
-  EnsureSorted();
-  double lo = values_.front();
-  double hi = values_.back();
+  double lo = MinValue();
+  double hi = MaxValue();
   if (log_spaced) {
     lo = std::max(lo, 1e-9);
     hi = std::max(hi, lo * (1.0 + 1e-9));

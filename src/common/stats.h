@@ -8,7 +8,9 @@
 #define OMEGA_SRC_COMMON_STATS_H_
 
 #include <cstddef>
+#include <cstdint>
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace omega {
@@ -48,16 +50,19 @@ double Median(std::vector<double> values);
 double MedianAbsoluteDeviation(std::vector<double> values);
 
 // An empirical cumulative distribution function over collected samples.
+// Samples are stored as (value, count) runs, so weighted adds (`AddN`) cost
+// O(1) memory regardless of the weight.
 class Cdf {
  public:
-  void Add(double x) {
-    values_.push_back(x);
-    sorted_ = false;
-  }
+  void Add(double x) { AddN(x, 1); }
+  // Adds `n` copies of x; n <= 0 is a no-op.
   void AddN(double x, int64_t n);
+  // Absorbs all samples of `other`. Used to fold per-trial CDFs from a
+  // parallel sweep into one distribution.
+  void Merge(const Cdf& other);
 
-  size_t count() const { return values_.size(); }
-  bool empty() const { return values_.empty(); }
+  size_t count() const { return static_cast<size_t>(total_); }
+  bool empty() const { return total_ == 0; }
 
   // Fraction of samples <= x.
   double FractionAtOrBelow(double x) const;
@@ -77,10 +82,16 @@ class Cdf {
                       bool log_spaced = true) const;
 
  private:
+  // Sorts runs by value, coalesces duplicates, and rebuilds the inclusive
+  // prefix-sum over counts used for O(log runs) rank/fraction queries.
   void EnsureSorted() const;
+  // Value of the k-th order statistic (0-based, k in [0, total_)).
+  double ValueAtRank(int64_t k) const;
 
-  mutable std::vector<double> values_;
+  mutable std::vector<std::pair<double, int64_t>> runs_;  // (value, count)
+  mutable std::vector<int64_t> cumulative_;  // inclusive prefix sums of counts
   mutable bool sorted_ = false;
+  int64_t total_ = 0;
 };
 
 // Fixed-width histogram over [lo, hi) with `bins` buckets; out-of-range

@@ -1,0 +1,164 @@
+#include "src/exp/sweep.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+#include <fstream>
+#include <limits>
+#include <sstream>
+#include <thread>
+
+#include "src/exp/experiment.h"
+
+namespace omega {
+namespace {
+
+// JSON-safe rendering of a double: full round-trip precision, and the
+// non-finite values JSON cannot represent become null.
+void AppendJsonNumber(std::ostringstream& os, double v) {
+  if (std::isfinite(v)) {
+    os.precision(std::numeric_limits<double>::max_digits10);
+    os << v;
+  } else {
+    os << "null";
+  }
+}
+
+void AppendJsonString(std::ostringstream& os, const std::string& s) {
+  os << '"';
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        os << "\\\"";
+        break;
+      case '\\':
+        os << "\\\\";
+        break;
+      case '\n':
+        os << "\\n";
+        break;
+      case '\t':
+        os << "\\t";
+        break;
+      default:
+        os << c;
+    }
+  }
+  os << '"';
+}
+
+}  // namespace
+
+double SweepReport::TrialSecondsTotal() const {
+  double total = 0.0;
+  for (double s : trial_wall_seconds) {
+    total += s;
+  }
+  return total;
+}
+
+double SweepReport::SpeedupVsSerial() const {
+  if (wall_seconds <= 0.0) {
+    return 0.0;
+  }
+  return TrialSecondsTotal() / wall_seconds;
+}
+
+void SweepReport::AddMetric(const std::string& key, double value) {
+  metrics.emplace_back(key, value);
+}
+
+std::string SweepReport::ToJson() const {
+  std::ostringstream os;
+  os << "{\n  \"figure\": ";
+  AppendJsonString(os, name);
+  os << ",\n  \"base_seed\": " << base_seed;
+  os << ",\n  \"threads\": " << threads;
+  os << ",\n  \"trials\": " << trials;
+  os << ",\n  \"wall_seconds\": ";
+  AppendJsonNumber(os, wall_seconds);
+  os << ",\n  \"trial_seconds_total\": ";
+  AppendJsonNumber(os, TrialSecondsTotal());
+  os << ",\n  \"speedup_vs_serial\": ";
+  AppendJsonNumber(os, SpeedupVsSerial());
+  os << ",\n  \"trial_wall_seconds\": [";
+  for (size_t i = 0; i < trial_wall_seconds.size(); ++i) {
+    if (i > 0) {
+      os << ", ";
+    }
+    AppendJsonNumber(os, trial_wall_seconds[i]);
+  }
+  os << "],\n  \"metrics\": {";
+  for (size_t i = 0; i < metrics.size(); ++i) {
+    if (i > 0) {
+      os << ", ";
+    }
+    os << "\n    ";
+    AppendJsonString(os, metrics[i].first);
+    os << ": ";
+    AppendJsonNumber(os, metrics[i].second);
+  }
+  if (!metrics.empty()) {
+    os << "\n  ";
+  }
+  os << "}\n}\n";
+  return os.str();
+}
+
+std::string SweepReport::WriteJson() const {
+  std::string dir = ".";
+  if (const char* env = std::getenv("OMEGA_BENCH_JSON_DIR");
+      env != nullptr && env[0] != '\0') {
+    dir = env;
+  }
+  const std::string path = dir + "/BENCH_" + name + ".json";
+  std::ofstream out(path);
+  if (!out) {
+    return std::string();
+  }
+  out << ToJson();
+  return path;
+}
+
+SweepRunner::SweepRunner(std::string name, uint64_t base_seed,
+                         size_t max_threads)
+    : max_threads_(max_threads == 0 ? BenchThreads() : max_threads) {
+  report_.name = std::move(name);
+  report_.base_seed = base_seed;
+  if (const char* env = std::getenv("OMEGA_BENCH_SEED"); env != nullptr) {
+    char* end = nullptr;
+    const unsigned long long v = std::strtoull(env, &end, 10);
+    if (end != env) {
+      report_.base_seed = static_cast<uint64_t>(v);
+    }
+  }
+}
+
+void SweepRunner::Begin(size_t num_trials) {
+  report_.trials = num_trials;
+  report_.trial_wall_seconds.assign(num_trials, 0.0);
+  report_.wall_seconds = 0.0;
+  size_t threads = max_threads_;
+  if (threads == 0) {
+    threads = std::max<size_t>(1, std::thread::hardware_concurrency());
+  }
+  report_.threads = std::min(threads, std::max<size_t>(1, num_trials));
+}
+
+RunningStats MergeTrialStats(const std::vector<RunningStats>& per_trial) {
+  RunningStats merged;
+  for (const RunningStats& s : per_trial) {
+    merged.Merge(s);
+  }
+  return merged;
+}
+
+Cdf MergeTrialCdfs(const std::vector<Cdf>& per_trial) {
+  Cdf merged;
+  for (const Cdf& c : per_trial) {
+    merged.Merge(c);
+  }
+  return merged;
+}
+
+}  // namespace omega

@@ -14,6 +14,11 @@ EventId EventQueue::Push(SimTime time, Callback callback) {
 bool EventQueue::Cancel(EventId id) {
   auto it = callbacks_.find(id);
   if (it == callbacks_.end()) {
+    // Already fired, already cancelled, or never pushed. The id must NOT be
+    // added to cancelled_ here: entries in cancelled_ pair 1:1 with lazy heap
+    // entries, and an unpaired id would either never be reclaimed
+    // (already-fired events have no heap entry left) or be reclaimed twice
+    // (double-cancel), corrupting the pending-count bookkeeping.
     return false;
   }
   callbacks_.erase(it);

@@ -44,7 +44,12 @@ class EventQueue {
   // cancelled entries. Must not be called when Empty().
   Callback Pop(SimTime* time_out);
 
-  size_t PendingCount() const { return heap_.size() - cancelled_.size(); }
+  // Count of live (pushed, not yet fired or cancelled) events. Counts the
+  // callback map rather than `heap_.size() - cancelled_.size()`: the sizes
+  // only agree while every cancelled id still has its lazy heap entry, and a
+  // stray cancelled id with no heap entry would make the subtraction
+  // underflow to a bogus huge count.
+  size_t PendingCount() const { return callbacks_.size(); }
 
  private:
   struct Entry {

@@ -4,6 +4,7 @@
 
 #include <atomic>
 #include <numeric>
+#include <stdexcept>
 #include <vector>
 
 #include "src/common/logging.h"
@@ -72,6 +73,55 @@ TEST(ParallelForTest, MoreThreadsThanWork) {
   std::atomic<int> sum{0};
   ParallelFor(3, [&](size_t i) { sum.fetch_add(static_cast<int>(i) + 1); }, 64);
   EXPECT_EQ(sum.load(), 6);
+}
+
+// Regression: an exception thrown inside fn used to escape the worker thread
+// and call std::terminate. It must surface on the joining thread instead.
+TEST(ParallelForTest, ExceptionRethrownOnCallingThread) {
+  EXPECT_THROW(
+      ParallelFor(
+          100,
+          [](size_t i) {
+            if (i == 17) {
+              throw std::runtime_error("trial 17 failed");
+            }
+          },
+          4),
+      std::runtime_error);
+}
+
+TEST(ParallelForTest, ExceptionStopsSchedulingNewIterations) {
+  std::atomic<int> started{0};
+  try {
+    ParallelFor(
+        1000000,
+        [&](size_t) {
+          started.fetch_add(1);
+          throw std::runtime_error("boom");
+        },
+        4);
+    FAIL() << "expected the exception to propagate";
+  } catch (const std::runtime_error&) {
+  }
+  // At most one in-flight iteration per worker after the first throw.
+  EXPECT_LE(started.load(), 8);
+}
+
+TEST(ParallelForTest, ExceptionPropagatesFromSingleThreadPath) {
+  EXPECT_THROW(
+      ParallelFor(
+          5, [](size_t) { throw std::logic_error("serial"); }, 1),
+      std::logic_error);
+}
+
+TEST(ParallelForTest, ExceptionPreservesMessage) {
+  try {
+    ParallelFor(
+        8, [](size_t) { throw std::runtime_error("exact message"); }, 4);
+    FAIL() << "expected the exception to propagate";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "exact message");
+  }
 }
 
 TEST(LoggingTest, LevelFiltering) {

@@ -67,6 +67,61 @@ TEST(EventQueueTest, PendingCountExcludesCancelled) {
   EXPECT_EQ(q.PendingCount(), 1u);
 }
 
+// Regression: cancelling an already-fired id must not enter the lazy
+// cancelled set — a stray entry there would skew PendingCount (with the old
+// `heap_.size() - cancelled_.size()` arithmetic it underflowed to a bogus
+// huge count once the heap drained).
+TEST(EventQueueTest, CancelAfterFireKeepsPendingCountExact) {
+  EventQueue q;
+  const EventId fired = q.Push(SimTime(1), [] {});
+  q.Push(SimTime(2), [] {});
+  q.Pop(nullptr)();  // fires `fired`
+  EXPECT_EQ(q.PendingCount(), 1u);
+  EXPECT_FALSE(q.Cancel(fired));
+  EXPECT_EQ(q.PendingCount(), 1u);
+  q.Pop(nullptr)();
+  EXPECT_EQ(q.PendingCount(), 0u);
+  EXPECT_TRUE(q.Empty());
+}
+
+TEST(EventQueueTest, DoubleCancelCountsOnce) {
+  EventQueue q;
+  const EventId id = q.Push(SimTime(1), [] {});
+  q.Push(SimTime(2), [] {});
+  EXPECT_TRUE(q.Cancel(id));
+  EXPECT_FALSE(q.Cancel(id));
+  EXPECT_FALSE(q.Cancel(id));
+  EXPECT_EQ(q.PendingCount(), 1u);
+  q.Pop(nullptr)();
+  EXPECT_EQ(q.PendingCount(), 0u);
+  EXPECT_TRUE(q.Empty());
+}
+
+TEST(EventQueueTest, PendingCountStableThroughMixedCancelAbuse) {
+  EventQueue q;
+  std::vector<EventId> ids;
+  for (int i = 0; i < 8; ++i) {
+    ids.push_back(q.Push(SimTime(i + 1), [] {}));
+  }
+  // Fire two, then hammer Cancel on fired, live, unknown and repeat ids.
+  q.Pop(nullptr)();
+  q.Pop(nullptr)();
+  EXPECT_FALSE(q.Cancel(ids[0]));  // already fired
+  EXPECT_FALSE(q.Cancel(ids[1]));  // already fired
+  EXPECT_TRUE(q.Cancel(ids[4]));
+  EXPECT_FALSE(q.Cancel(ids[4]));       // double-cancel
+  EXPECT_FALSE(q.Cancel(kInvalidEventId));
+  EXPECT_FALSE(q.Cancel(999999));       // never pushed
+  EXPECT_EQ(q.PendingCount(), 5u);
+  size_t fired = 0;
+  while (!q.Empty()) {
+    q.Pop(nullptr)();
+    ++fired;
+  }
+  EXPECT_EQ(fired, 5u);
+  EXPECT_EQ(q.PendingCount(), 0u);
+}
+
 TEST(EventQueueTest, PeekSkipsCancelledHead) {
   EventQueue q;
   const EventId id = q.Push(SimTime(1), [] {});

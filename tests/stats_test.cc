@@ -123,6 +123,91 @@ TEST(CdfTest, AddNWeights) {
   EXPECT_DOUBLE_EQ(cdf.FractionAtOrBelow(1.0), 0.75);
 }
 
+// Weighted adds must agree exactly with the equivalent sequence of unit adds.
+TEST(CdfTest, AddNMatchesRepeatedAdd) {
+  Rng rng(42);
+  Cdf weighted;
+  Cdf unit;
+  for (int i = 0; i < 50; ++i) {
+    const double x = rng.NextRange(0.0, 100.0);
+    const auto n = static_cast<int64_t>(1 + rng.NextBounded(9));
+    weighted.AddN(x, n);
+    for (int64_t k = 0; k < n; ++k) {
+      unit.Add(x);
+    }
+  }
+  ASSERT_EQ(weighted.count(), unit.count());
+  EXPECT_DOUBLE_EQ(weighted.MinValue(), unit.MinValue());
+  EXPECT_DOUBLE_EQ(weighted.MaxValue(), unit.MaxValue());
+  EXPECT_DOUBLE_EQ(weighted.MeanValue(), unit.MeanValue());
+  for (double q : {0.0, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 1.0}) {
+    EXPECT_DOUBLE_EQ(weighted.Quantile(q), unit.Quantile(q)) << "q=" << q;
+  }
+  for (double x : {-1.0, 0.0, 12.5, 50.0, 99.0, 1000.0}) {
+    EXPECT_DOUBLE_EQ(weighted.FractionAtOrBelow(x), unit.FractionAtOrBelow(x))
+        << "x=" << x;
+  }
+}
+
+// Regression: AddN used to materialize n copies of the sample, so a large
+// weighted add was O(n) memory. With (value, count) runs this is O(1) and
+// finishes instantly even for billions of samples.
+TEST(CdfTest, AddNHugeWeightIsCheap) {
+  Cdf cdf;
+  cdf.AddN(1.0, 3'000'000'000LL);
+  cdf.AddN(2.0, 1'000'000'000LL);
+  EXPECT_EQ(cdf.count(), 4'000'000'000ULL);
+  EXPECT_DOUBLE_EQ(cdf.FractionAtOrBelow(1.0), 0.75);
+  EXPECT_DOUBLE_EQ(cdf.FractionAtOrBelow(1.5), 0.75);
+  EXPECT_DOUBLE_EQ(cdf.FractionAtOrBelow(2.0), 1.0);
+  EXPECT_DOUBLE_EQ(cdf.Quantile(0.5), 1.0);
+  EXPECT_DOUBLE_EQ(cdf.MeanValue(), 1.25);
+}
+
+TEST(CdfTest, AddNZeroOrNegativeIsNoop) {
+  Cdf cdf;
+  cdf.AddN(1.0, 0);
+  cdf.AddN(2.0, -5);
+  EXPECT_TRUE(cdf.empty());
+  cdf.Add(3.0);
+  EXPECT_EQ(cdf.count(), 1u);
+  EXPECT_DOUBLE_EQ(cdf.Quantile(0.5), 3.0);
+}
+
+TEST(CdfTest, DuplicateValuesAcrossAddsCoalesce) {
+  Cdf cdf;
+  cdf.Add(5.0);
+  cdf.AddN(5.0, 2);
+  EXPECT_DOUBLE_EQ(cdf.FractionAtOrBelow(5.0), 1.0);  // forces a sort
+  cdf.AddN(5.0, 3);                                   // add after a query
+  cdf.Add(7.0);
+  EXPECT_EQ(cdf.count(), 7u);
+  EXPECT_DOUBLE_EQ(cdf.FractionAtOrBelow(5.0), 6.0 / 7.0);
+  EXPECT_DOUBLE_EQ(cdf.Quantile(0.0), 5.0);
+  EXPECT_DOUBLE_EQ(cdf.Quantile(1.0), 7.0);
+}
+
+TEST(CdfTest, MergeMatchesCombinedAdds) {
+  Cdf a;
+  Cdf b;
+  Cdf combined;
+  for (int i = 1; i <= 10; ++i) {
+    (i % 2 == 0 ? a : b).Add(i);
+    combined.Add(i);
+  }
+  a.Merge(b);
+  ASSERT_EQ(a.count(), combined.count());
+  for (double q : {0.0, 0.3, 0.5, 0.8, 1.0}) {
+    EXPECT_DOUBLE_EQ(a.Quantile(q), combined.Quantile(q));
+  }
+  Cdf empty;
+  a.Merge(empty);  // merging empty changes nothing
+  EXPECT_EQ(a.count(), combined.count());
+  empty.Merge(a);  // merging into empty copies everything
+  EXPECT_EQ(empty.count(), combined.count());
+  EXPECT_DOUBLE_EQ(empty.Quantile(0.5), combined.Quantile(0.5));
+}
+
 TEST(CdfTest, EmptyBehaviour) {
   Cdf cdf;
   EXPECT_TRUE(cdf.empty());

@@ -1,0 +1,210 @@
+// Tests for the deterministic parallel sweep engine: substream derivation,
+// trial-index ordering, thread-count invariance of a fig5-style sweep, merge
+// helpers, and the BENCH_<figure>.json output.
+#include "src/exp/sweep.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <stdexcept>
+#include <thread>
+
+#include "bench/fig56_sweep.h"
+#include "src/common/random.h"
+
+namespace omega {
+namespace {
+
+TEST(SubstreamSeedTest, PureAndInjectiveOverSmallIndexRange) {
+  std::set<uint64_t> seeds;
+  for (uint64_t i = 0; i < 4096; ++i) {
+    const uint64_t s = SubstreamSeed(7, i);
+    EXPECT_EQ(s, SubstreamSeed(7, i)) << "must be pure";
+    seeds.insert(s);
+  }
+  EXPECT_EQ(seeds.size(), 4096u) << "substreams must not collide";
+}
+
+TEST(SubstreamSeedTest, DependsOnBaseSeed) {
+  EXPECT_NE(SubstreamSeed(1, 0), SubstreamSeed(2, 0));
+  EXPECT_NE(SubstreamSeed(1, 5), SubstreamSeed(2, 5));
+}
+
+TEST(SubstreamSeedTest, StreamsAreStatisticallyIndependent) {
+  // Adjacent substreams must not produce correlated output: check that the
+  // first draws of 1000 adjacent substreams look uniform in [0,1).
+  RunningStats first_draws;
+  for (uint64_t i = 0; i < 1000; ++i) {
+    Rng rng(SubstreamSeed(123, i));
+    first_draws.Add(rng.NextDouble());
+  }
+  EXPECT_NEAR(first_draws.mean(), 0.5, 0.05);
+  EXPECT_NEAR(first_draws.stddev(), 0.2887, 0.03);
+}
+
+TEST(SweepRunnerTest, ResultsComeBackInTrialIndexOrder) {
+  SweepRunner runner("test_order", 1, 4);
+  const auto results = runner.Run(
+      257, [](const TrialContext& ctx) { return ctx.index * 10; });
+  ASSERT_EQ(results.size(), 257u);
+  for (size_t i = 0; i < results.size(); ++i) {
+    EXPECT_EQ(results[i], i * 10);
+  }
+}
+
+TEST(SweepRunnerTest, ContextSeedsMatchSubstreamDerivation) {
+  SweepRunner runner("test_seeds", 77, 2);
+  const auto seeds = runner.Run(
+      16, [](const TrialContext& ctx) {
+        EXPECT_EQ(ctx.base_seed, 77u);
+        return ctx.seed;
+      });
+  for (size_t i = 0; i < seeds.size(); ++i) {
+    EXPECT_EQ(seeds[i], SubstreamSeed(77, i));
+  }
+}
+
+TEST(SweepRunnerTest, RecordsPerTrialAndTotalTiming) {
+  SweepRunner runner("test_timing", 1, 2);
+  runner.Run(8, [](const TrialContext& ctx) {
+    // A sliver of real work so per-trial clocks tick.
+    Rng rng(ctx.seed);
+    double sum = 0.0;
+    for (int i = 0; i < 10000; ++i) {
+      sum += rng.NextDouble();
+    }
+    return sum;
+  });
+  const SweepReport& rep = runner.report();
+  EXPECT_EQ(rep.trials, 8u);
+  EXPECT_EQ(rep.threads, 2u);
+  ASSERT_EQ(rep.trial_wall_seconds.size(), 8u);
+  EXPECT_GT(rep.wall_seconds, 0.0);
+  for (double s : rep.trial_wall_seconds) {
+    EXPECT_GE(s, 0.0);
+  }
+  EXPECT_GT(rep.TrialSecondsTotal(), 0.0);
+}
+
+TEST(SweepRunnerTest, TrialExceptionSurfacesOnCaller) {
+  SweepRunner runner("test_throw", 1, 4);
+  EXPECT_THROW(runner.Run(64,
+                          [](const TrialContext& ctx) -> int {
+                            if (ctx.index == 13) {
+                              throw std::runtime_error("trial 13");
+                            }
+                            return 0;
+                          }),
+               std::runtime_error);
+}
+
+TEST(MergeHelpersTest, FoldInTrialIndexOrder) {
+  std::vector<RunningStats> stats(3);
+  std::vector<Cdf> cdfs(3);
+  for (int t = 0; t < 3; ++t) {
+    for (int i = 0; i < 5; ++i) {
+      stats[t].Add(t * 5 + i);
+      cdfs[t].Add(t * 5 + i);
+    }
+  }
+  const RunningStats merged = MergeTrialStats(stats);
+  EXPECT_EQ(merged.count(), 15);
+  EXPECT_DOUBLE_EQ(merged.mean(), 7.0);
+  EXPECT_DOUBLE_EQ(merged.min(), 0.0);
+  EXPECT_DOUBLE_EQ(merged.max(), 14.0);
+  const Cdf cdf = MergeTrialCdfs(cdfs);
+  EXPECT_EQ(cdf.count(), 15u);
+  EXPECT_DOUBLE_EQ(cdf.Quantile(0.5), 7.0);
+}
+
+// The acceptance bar for the sweep engine: a fig5-style sweep must produce
+// bit-identical results (and bit-identical merged statistics) no matter how
+// many worker threads shard the grid.
+TEST(SweepDeterminismTest, Fig5SweepIdenticalAcrossThreadCounts) {
+  const Duration horizon = Duration::FromDays(0.004);
+  const size_t hw = std::max<size_t>(1, std::thread::hardware_concurrency());
+  // Always include an oversubscribed 4-thread leg: containers can report a
+  // hardware concurrency of 1, which would otherwise duplicate the serial leg.
+  const std::set<size_t> thread_counts{1, 2, 4, hw};
+  std::vector<std::vector<SweepResult>> runs;
+  std::vector<double> merged_means;
+  for (size_t threads : thread_counts) {
+    SweepRunner runner("test_fig5_determinism", kFig56BaseSeed, threads);
+    runs.push_back(RunFig56Sweep(horizon, runner, /*tjob_points=*/3));
+    RunningStats merged;
+    for (const SweepResult& r : runs.back()) {
+      merged.Add(r.batch_wait);
+      merged.Add(r.service_wait);
+    }
+    merged_means.push_back(merged.mean());
+  }
+  ASSERT_EQ(runs.size(), thread_counts.size());
+  for (size_t k = 1; k < runs.size(); ++k) {
+    ASSERT_EQ(runs[k].size(), runs[0].size());
+    for (size_t i = 0; i < runs[0].size(); ++i) {
+      const SweepResult& a = runs[0][i];
+      const SweepResult& b = runs[k][i];
+      EXPECT_EQ(a.arch, b.arch) << "trial " << i;
+      EXPECT_EQ(a.cluster, b.cluster) << "trial " << i;
+      EXPECT_EQ(a.t_job_secs, b.t_job_secs) << "trial " << i;
+      EXPECT_EQ(a.batch_wait, b.batch_wait) << "trial " << i;
+      EXPECT_EQ(a.service_wait, b.service_wait) << "trial " << i;
+      EXPECT_EQ(a.batch_busy, b.batch_busy) << "trial " << i;
+      EXPECT_EQ(a.batch_busy_mad, b.batch_busy_mad) << "trial " << i;
+      EXPECT_EQ(a.service_busy, b.service_busy) << "trial " << i;
+      EXPECT_EQ(a.service_busy_mad, b.service_busy_mad) << "trial " << i;
+      EXPECT_EQ(a.abandoned, b.abandoned) << "trial " << i;
+    }
+    EXPECT_EQ(merged_means[k], merged_means[0]);
+  }
+}
+
+TEST(SweepReportTest, JsonContainsAllSections) {
+  SweepRunner runner("test_json", 5, 2);
+  runner.Run(4, [](const TrialContext& ctx) { return ctx.index; });
+  runner.report().AddMetric("answer", 42.0);
+  const std::string json = runner.report().ToJson();
+  EXPECT_NE(json.find("\"figure\": \"test_json\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"base_seed\": 5"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"threads\": 2"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"trials\": 4"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"wall_seconds\":"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"trial_seconds_total\":"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"speedup_vs_serial\":"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"trial_wall_seconds\": ["), std::string::npos) << json;
+  EXPECT_NE(json.find("\"answer\": 42"), std::string::npos) << json;
+}
+
+TEST(SweepReportTest, WriteJsonHonorsOutputDirEnv) {
+  const std::string dir = ::testing::TempDir();
+  setenv("OMEGA_BENCH_JSON_DIR", dir.c_str(), 1);
+  SweepRunner runner("test_write", 1, 1);
+  runner.Run(2, [](const TrialContext& ctx) { return ctx.index; });
+  const std::string path = runner.WriteJson();
+  unsetenv("OMEGA_BENCH_JSON_DIR");
+  ASSERT_FALSE(path.empty());
+  EXPECT_EQ(path.rfind(dir, 0), 0u) << path;
+  EXPECT_NE(path.find("BENCH_test_write.json"), std::string::npos) << path;
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::stringstream contents;
+  contents << in.rdbuf();
+  EXPECT_EQ(contents.str(), runner.report().ToJson());
+}
+
+TEST(SweepRunnerTest, EnvSeedOverridesBaseSeed) {
+  setenv("OMEGA_BENCH_SEED", "31337", 1);
+  SweepRunner runner("test_env_seed", 1, 1);
+  unsetenv("OMEGA_BENCH_SEED");
+  EXPECT_EQ(runner.report().base_seed, 31337u);
+  const auto seeds =
+      runner.Run(2, [](const TrialContext& ctx) { return ctx.seed; });
+  EXPECT_EQ(seeds[0], SubstreamSeed(31337, 0));
+  EXPECT_EQ(seeds[1], SubstreamSeed(31337, 1));
+}
+
+}  // namespace
+}  // namespace omega
