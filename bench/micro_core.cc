@@ -141,6 +141,147 @@ void BM_EventQueuePushPop(benchmark::State& state) {
 }
 BENCHMARK(BM_EventQueuePushPop);
 
+// Steady-state hold-one-pop-one at a fixed backlog: the shape of a running
+// simulation, where every task-end pops one event and schedules the next.
+// Arg is the number of pending events (heap depth).
+void BM_EventQueueSteadyState(benchmark::State& state) {
+  const auto backlog = static_cast<size_t>(state.range(0));
+  EventQueue q;
+  q.Reserve(backlog + 1);
+  Rng rng(5);
+  int64_t now = 0;
+  for (size_t i = 0; i < backlog; ++i) {
+    q.Push(SimTime(static_cast<int64_t>(rng.NextBounded(1000000))), [] {});
+  }
+  for (auto _ : state) {
+    SimTime when;
+    q.Pop(&when);
+    now = when.micros();
+    q.Push(SimTime(now + 1 + static_cast<int64_t>(rng.NextBounded(1000000))),
+           [] {});
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_EventQueueSteadyState)
+    ->Arg(10000)
+    ->Arg(100000)
+    ->Arg(1000000);
+
+// Push/cancel churn at a fixed backlog: timers that are armed and almost
+// always disarmed before firing (task preemption timeouts, retry timers).
+void BM_EventQueuePushCancel(benchmark::State& state) {
+  const auto backlog = static_cast<size_t>(state.range(0));
+  EventQueue q;
+  q.Reserve(backlog + 1);
+  Rng rng(7);
+  for (size_t i = 0; i < backlog; ++i) {
+    q.Push(SimTime(static_cast<int64_t>(rng.NextBounded(1000000))), [] {});
+  }
+  for (auto _ : state) {
+    const EventId id = q.Push(
+        SimTime(static_cast<int64_t>(rng.NextBounded(1000000))), [] {});
+    benchmark::DoNotOptimize(q.Cancel(id));
+  }
+  state.SetItemsProcessed(state.iterations() * 2);
+}
+BENCHMARK(BM_EventQueuePushCancel)
+    ->Arg(10000)
+    ->Arg(100000)
+    ->Arg(1000000);
+
+// Mixed pop/push/cancel traffic (2 pushes : 1 cancel : 1 pop per round on
+// average) at a fixed backlog — the closest microbenchmark to what a figure
+// sweep drives through the queue.
+void BM_EventQueueMixed(benchmark::State& state) {
+  const auto backlog = static_cast<size_t>(state.range(0));
+  EventQueue q;
+  q.Reserve(2 * backlog);
+  Rng rng(9);
+  std::vector<EventId> live;
+  live.reserve(2 * backlog);
+  int64_t now = 0;
+  for (size_t i = 0; i < backlog; ++i) {
+    live.push_back(
+        q.Push(SimTime(static_cast<int64_t>(rng.NextBounded(1000000))), [] {}));
+  }
+  for (auto _ : state) {
+    SimTime when;
+    q.Pop(&when);
+    now = when.micros();
+    for (int i = 0; i < 2; ++i) {
+      live.push_back(q.Push(
+          SimTime(now + 1 + static_cast<int64_t>(rng.NextBounded(1000000))),
+          [] {}));
+    }
+    // Cancel a random previously issued id; roughly half are already gone, so
+    // this also exercises the stale-id path.
+    const size_t pick = rng.NextBounded(live.size());
+    benchmark::DoNotOptimize(q.Cancel(live[pick]));
+    if (q.PendingCount() > 2 * backlog) {
+      state.PauseTiming();
+      while (q.PendingCount() > backlog) {
+        q.Pop(nullptr);
+      }
+      live.clear();
+      state.ResumeTiming();
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * 4);
+}
+BENCHMARK(BM_EventQueueMixed)->Arg(10000)->Arg(100000)->Arg(1000000);
+
+// Randomized first fit at a controlled utilization level. The paper's
+// experiments deliberately push cells toward fullness (§4/§5), where the
+// random-probe phase keeps missing and the linear fallback dominates; the
+// block-summary pruning pays off exactly there. Arg is percent utilization of
+// the binding (CPU) dimension.
+void BM_PlacerAtUtilization(benchmark::State& state) {
+  constexpr uint32_t kMachines = 10000;
+  CellState cell(kMachines, kMachine);
+  Rng fill(11);
+  const double target = static_cast<double>(state.range(0)) / 100.0;
+  if (state.range(0) >= 100) {
+    // Saturate: pack every machine until the probe task fits nowhere, so each
+    // placement attempt degenerates to the exhaustive no-fit scan — the case
+    // where block pruning replaces a 10000-machine walk with ~157 block
+    // checks.
+    for (MachineId m = 0; m < kMachines; ++m) {
+      while (cell.CanFit(m, kTask)) {
+        cell.Allocate(m, kTask);
+      }
+    }
+  } else {
+    // Random first-fit fill: leaves a realistic mix of full and loose
+    // machines.
+    while (cell.CpuUtilization() < target) {
+      const auto m = static_cast<MachineId>(fill.NextBounded(kMachines));
+      if (cell.CanFit(m, kTask)) {
+        cell.Allocate(m, kTask);
+      }
+    }
+  }
+  Job job;
+  job.num_tasks = 10;
+  job.task_resources = kTask;
+  RandomizedFirstFitPlacer placer;
+  Rng rng(13);
+  std::vector<TaskClaim> claims;
+  for (auto _ : state) {
+    claims.clear();
+    const uint32_t placed = placer.PlaceTasks(cell, job, 10, rng, &claims);
+    benchmark::DoNotOptimize(placed);
+    // Commit and undo so utilization stays pinned at the target.
+    for (const TaskClaim& c : claims) {
+      cell.Allocate(c.machine, c.resources);
+    }
+    for (const TaskClaim& c : claims) {
+      cell.Free(c.machine, c.resources);
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * 10);
+}
+BENCHMARK(BM_PlacerAtUtilization)->Arg(50)->Arg(85)->Arg(95)->Arg(99)->Arg(100);
+
 void BM_SimulatorThroughput(benchmark::State& state) {
   for (auto _ : state) {
     Simulator sim;

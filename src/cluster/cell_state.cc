@@ -29,6 +29,42 @@ CellState::CellState(std::vector<Resources> machine_capacities,
     machines_[i].failure_domain = static_cast<int32_t>(i / machines_per_domain);
     total_capacity_ += machine_capacities[i];
   }
+  const size_t num_blocks = (machines_.size() + kBlockSize - 1) / kBlockSize;
+  block_max_avail_.resize(num_blocks);
+  block_dirty_.assign(num_blocks, 0);
+  for (size_t b = 0; b < num_blocks; ++b) {
+    RecomputeBlock(b);
+  }
+}
+
+void CellState::RecomputeBlock(size_t block) const {
+  const size_t begin = block * kBlockSize;
+  const size_t end = std::min(begin + kBlockSize, machines_.size());
+  Resources max_avail = Resources::Zero();
+  for (size_t m = begin; m < end; ++m) {
+    const Resources avail = UsableAvail(static_cast<MachineId>(m));
+    max_avail.cpus = std::max(max_avail.cpus, avail.cpus);
+    max_avail.mem_gb = std::max(max_avail.mem_gb, avail.mem_gb);
+  }
+  block_max_avail_[block] = max_avail;
+  block_dirty_[block] = 0;
+}
+
+void CellState::BlockAfterShrink(MachineId id) {
+  // A shrink can only lower the block maximum, so the stored value stays a
+  // sound (stale-high) upper bound; just mark the block stale and let the
+  // next BlockMayFit consult re-summarize it. A single byte store keeps the
+  // allocation fast path free of summary-array traffic.
+  block_dirty_[id / kBlockSize] = 1;
+}
+
+void CellState::BlockAfterGrow(MachineId id) {
+  // Raising the maximum keeps a clean block exact and a dirty block's upper
+  // bound sound; either way it is correct (and branch-free).
+  Resources& max_avail = block_max_avail_[id / kBlockSize];
+  const Resources avail = UsableAvail(id);
+  max_avail.cpus = std::max(max_avail.cpus, avail.cpus);
+  max_avail.mem_gb = std::max(max_avail.mem_gb, avail.mem_gb);
 }
 
 Resources CellState::UsableCapacity(MachineId id) const {
@@ -50,7 +86,10 @@ bool CellState::CanFitWithPending(MachineId id, const Resources& request,
   return used.FitsIn(UsableCapacity(id));
 }
 
-void CellState::Allocate(MachineId id, const Resources& request) {
+void CellState::Allocate(MachineId id, const Resources& request_ref) {
+  // Copy first: callers may pass a reference into this very machine (e.g.
+  // Free(m, cell.machine(m).allocated)), which the updates below would alias.
+  const Resources request = request_ref;
   Machine& m = machines_[id];
   OMEGA_CHECK((m.allocated + request).FitsIn(m.capacity))
       << "overcommit on machine " << id << ": allocated=" << m.allocated
@@ -59,12 +98,14 @@ void CellState::Allocate(MachineId id, const Resources& request) {
   m.allocated += request;
   ++m.seqnum;
   total_allocated_ += request;
+  BlockAfterShrink(id);
   if (HasAvailabilityIndex()) {
     IndexUpdate(id, old_bucket);
   }
 }
 
-void CellState::Free(MachineId id, const Resources& request) {
+void CellState::Free(MachineId id, const Resources& request_ref) {
+  const Resources request = request_ref;  // see Allocate: aliasing hazard
   Machine& m = machines_[id];
   const size_t old_bucket = HasAvailabilityIndex() ? BucketFor(id) : 0;
   m.allocated -= request;
@@ -74,6 +115,7 @@ void CellState::Free(MachineId id, const Resources& request) {
   ++m.seqnum;
   total_allocated_ -= request;
   total_allocated_ = total_allocated_.ClampNonNegative();
+  BlockAfterGrow(id);
   if (HasAvailabilityIndex()) {
     IndexUpdate(id, old_bucket);
   }
@@ -277,6 +319,34 @@ bool CellState::CheckInvariants() const {
       return false;
     }
     sum += m.allocated;
+    // The block summary must dominate every machine's usable availability
+    // (soundness: BlockMayFit may never rule out a feasible machine) ...
+    const Resources avail = UsableAvail(m.id);
+    const Resources& max_avail = block_max_avail_[m.id / kBlockSize];
+    if (avail.cpus > max_avail.cpus + kResourceEpsilon ||
+        avail.mem_gb > max_avail.mem_gb + kResourceEpsilon) {
+      return false;
+    }
+  }
+  // ... and clean blocks must additionally stay tight: their summary must be
+  // achieved by some machine per dimension, or pruning quietly degrades.
+  // (Dirty blocks are allowed to be stale-high until their next consult.)
+  for (size_t b = 0; b < block_max_avail_.size(); ++b) {
+    if (block_dirty_[b] != 0) {
+      continue;
+    }
+    const size_t begin = b * kBlockSize;
+    const size_t end = std::min(begin + kBlockSize, machines_.size());
+    Resources max_avail = Resources::Zero();
+    for (size_t m = begin; m < end; ++m) {
+      const Resources avail = UsableAvail(static_cast<MachineId>(m));
+      max_avail.cpus = std::max(max_avail.cpus, avail.cpus);
+      max_avail.mem_gb = std::max(max_avail.mem_gb, avail.mem_gb);
+    }
+    if (std::abs(block_max_avail_[b].cpus - max_avail.cpus) > 1e-6 ||
+        std::abs(block_max_avail_[b].mem_gb - max_avail.mem_gb) > 1e-6) {
+      return false;
+    }
   }
   const Resources diff = sum - total_allocated_;
   return std::abs(diff.cpus) < 1e-3 && std::abs(diff.mem_gb) < 1e-3;

@@ -115,9 +115,52 @@ class CellState {
   // MapReduce global-cap policy thresholds on (§6.1).
   double MaxUtilization() const;
 
-  // Verifies internal consistency (per-machine sums vs. totals); used by
-  // tests and debug builds. Returns true when consistent.
+  // Verifies internal consistency (per-machine sums vs. totals, block
+  // summaries vs. per-machine availability); used by tests and debug builds.
+  // Returns true when consistent.
   bool CheckInvariants() const;
+
+  // --- block availability summaries ---
+  //
+  // Machines are grouped into fixed blocks of kBlockSize consecutive ids, and
+  // every block carries the componentwise maximum of its machines' usable
+  // availability (UsableCapacity - allocated, clamped at zero). Placement
+  // scans use BlockMayFit to skip whole blocks that cannot fit a request in
+  // at least one resource dimension — which is what keeps randomized first
+  // fit's linear fallback cheap in the near-full regime the paper's
+  // experiments deliberately drive into (§4, §5).
+  //
+  // Maintenance is incremental and lazy, tuned to the traffic mix: frees
+  // raise the stored maximum in O(1); an allocation just marks its block
+  // dirty with a byte store (allocations vastly outnumber fallback scans, so
+  // doing any more work here would cost more than pruning saves); BlockMayFit
+  // re-summarizes a dirty block on first consult. Between recomputes a dirty block's stored value is
+  // stale-high — a sound upper bound — so pruning never wrongly rules a
+  // block out, it just prunes less until refreshed. Because a pending
+  // (uncommitted) claim only shrinks availability further, a block ruled out
+  // by the summary can never hide a machine a CanFitWithPending scan would
+  // have accepted: skipping is strictly conservative.
+
+  static constexpr uint32_t kBlockSize = 64;
+
+  uint32_t NumBlocks() const { return static_cast<uint32_t>(block_max_avail_.size()); }
+
+  // True unless no machine in the block containing `id` can fit `request`
+  // (i.e. false means every machine in the block fails CanFit for `request`).
+  // Refreshes the block's summary if it is stale.
+  bool BlockMayFit(MachineId id, const Resources& request) const {
+    const size_t block = id / kBlockSize;
+    if (block_dirty_[block] != 0) {
+      RecomputeBlock(block);
+    }
+    return request.FitsIn(block_max_avail_[block]);
+  }
+
+  // First machine id after `id` that lies in the next block; placement scans
+  // jump here when BlockMayFit(id, ...) is false.
+  static MachineId NextBlockStart(MachineId id) {
+    return (id / kBlockSize + 1) * kBlockSize;
+  }
 
   // --- availability index ---
   //
@@ -148,11 +191,32 @@ class CellState {
   void IndexInsert(MachineId id);
   void IndexUpdate(MachineId id, size_t old_bucket);
 
+  // Usable availability of `id` under the fullness policy, clamped at zero
+  // componentwise (headroom can drive the raw difference negative).
+  Resources UsableAvail(MachineId id) const {
+    return (UsableCapacity(id) - machines_[id].allocated).ClampNonNegative();
+  }
+  // Recomputes a block's summary from its machines and clears its dirty bit
+  // (const: the summary is a cache over machine state).
+  void RecomputeBlock(size_t block) const;
+  // Marks the summary stale after machine `id`'s availability shrank
+  // (allocation path).
+  void BlockAfterShrink(MachineId id);
+  // Restores the summary after machine `id`'s availability grew (free path).
+  void BlockAfterGrow(MachineId id);
+
   std::vector<Machine> machines_;
   Resources total_capacity_;
   Resources total_allocated_;
   FullnessPolicy fullness_;
   double headroom_fraction_;
+
+  // Per-block componentwise maximum of UsableAvail over the block's machines
+  // (always maintained; one entry per kBlockSize machines). Mutable: a dirty
+  // block is lazily re-summarized on first consult, including through const
+  // readers.
+  mutable std::vector<Resources> block_max_avail_;
+  mutable std::vector<uint8_t> block_dirty_;
 
   // Availability index state (empty when disabled).
   std::vector<std::vector<MachineId>> buckets_;

@@ -72,6 +72,10 @@ std::string SweepReport::ToJson() const {
   std::ostringstream os;
   os << "{\n  \"figure\": ";
   AppendJsonString(os, name);
+  os << ",\n  \"git_sha\": ";
+  AppendJsonString(os, git_sha);
+  os << ",\n  \"build_type\": ";
+  AppendJsonString(os, build_type);
   os << ",\n  \"base_seed\": " << base_seed;
   os << ",\n  \"threads\": " << threads;
   os << ",\n  \"trials\": " << trials;
@@ -125,6 +129,16 @@ SweepRunner::SweepRunner(std::string name, uint64_t base_seed,
     : max_threads_(max_threads == 0 ? BenchThreads() : max_threads) {
   report_.name = std::move(name);
   report_.base_seed = base_seed;
+#ifdef OMEGA_GIT_SHA
+  report_.git_sha = OMEGA_GIT_SHA;
+#endif
+#ifdef OMEGA_BUILD_TYPE
+  report_.build_type = OMEGA_BUILD_TYPE;
+#endif
+  if (const char* env = std::getenv("OMEGA_GIT_SHA");
+      env != nullptr && env[0] != '\0') {
+    report_.git_sha = env;
+  }
   if (const char* env = std::getenv("OMEGA_BENCH_SEED"); env != nullptr) {
     char* end = nullptr;
     const unsigned long long v = std::strtoull(env, &end, 10);

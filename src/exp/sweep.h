@@ -33,6 +33,10 @@ struct TrialContext {
 // Everything a sweep run measured, serializable as BENCH_<name>.json.
 struct SweepReport {
   std::string name;                   // figure id, e.g. "fig5"
+  // Provenance: which commit and build flavor produced these numbers.
+  // SweepRunner fills them from $OMEGA_GIT_SHA / the build (see sweep.cc).
+  std::string git_sha = "unknown";
+  std::string build_type = "unknown";
   uint64_t base_seed = 0;
   size_t threads = 0;                 // worker threads actually used
   size_t trials = 0;

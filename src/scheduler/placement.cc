@@ -1,5 +1,7 @@
 #include "src/scheduler/placement.h"
 
+#include <algorithm>
+
 namespace omega {
 
 bool MachineSatisfiesConstraints(const Machine& machine, const Job& job) {
@@ -46,19 +48,32 @@ uint32_t RandomizedFirstFitPlacer::PlaceTasks(const CellState& cell, const Job& 
       }
     }
     // Phase 2: linear scan from a random offset; guarantees a fit is found
-    // whenever one exists.
+    // whenever one exists. Whole blocks whose availability summary cannot fit
+    // the request are skipped — their machines would all fail CanFit, so the
+    // first machine accepted (and hence the placement) is unchanged. The scan
+    // wraps at most once, so a block is re-summarized at most twice.
     if (chosen == kInvalidMachineId) {
       const auto start = static_cast<uint32_t>(rng.NextBounded(num_machines));
-      for (uint32_t i = 0; i < num_machines; ++i) {
-        const MachineId m = range_.Nth((start + i) % num_machines);
+      for (uint32_t i = 0; i < num_machines;) {
+        const uint32_t idx = (start + i) % num_machines;
+        const MachineId m = range_.Nth(idx);
+        if (!cell.BlockMayFit(m, job.task_resources)) {
+          // Jump to the next block boundary, clamped to the wrap point where
+          // the scan's machine ids stop ascending.
+          const uint32_t to_next_block = CellState::NextBlockStart(m) - m;
+          i += std::min(to_next_block, num_machines - idx);
+          continue;
+        }
         if (respect_constraints_ &&
             !MachineSatisfiesConstraints(cell.machine(m), job)) {
+          ++i;
           continue;
         }
         if (cell.CanFitWithPending(m, job.task_resources, pending.On(m))) {
           chosen = m;
           break;
         }
+        ++i;
       }
     }
     if (chosen == kInvalidMachineId) {

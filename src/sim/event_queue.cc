@@ -1,66 +1,145 @@
 #include "src/sim/event_queue.h"
 
+#include <algorithm>
+#include <utility>
+
 #include "src/common/logging.h"
 
 namespace omega {
+namespace {
+
+// EventIds pack (generation, slot + 1); the +1 keeps every issued id distinct
+// from kInvalidEventId (0).
+constexpr EventId EncodeId(uint32_t generation, uint32_t slot) {
+  return (static_cast<EventId>(generation) << 32) |
+         (static_cast<EventId>(slot) + 1);
+}
+
+}  // namespace
+
+uint32_t EventQueue::AcquireSlot() {
+  if (free_head_ != kNoPos) {
+    const uint32_t slot = free_head_;
+    free_head_ = slots_[slot].next_free;
+    slots_[slot].next_free = kNoPos;
+    return slot;
+  }
+  slots_.emplace_back();
+  return static_cast<uint32_t>(slots_.size() - 1);
+}
+
+void EventQueue::ReleaseSlot(uint32_t slot) {
+  Slot& s = slots_[slot];
+  s.callback = nullptr;
+  s.heap_pos = kNoPos;
+  ++s.generation;
+  s.next_free = free_head_;
+  free_head_ = slot;
+}
+
+void EventQueue::Reserve(size_t n) {
+  slots_.reserve(n);
+  heap_.reserve(n);
+}
 
 EventId EventQueue::Push(SimTime time, Callback callback) {
-  const EventId id = next_id_++;
-  heap_.push(Entry{time, next_sequence_++, id});
-  callbacks_.emplace(id, std::move(callback));
-  return id;
+  const uint32_t slot = AcquireSlot();
+  Slot& s = slots_[slot];
+  s.callback = std::move(callback);
+  const size_t pos = heap_.size();
+  heap_.push_back(Entry{time, next_sequence_++, slot});
+  s.heap_pos = static_cast<uint32_t>(pos);
+  SiftUp(pos);
+  return EncodeId(s.generation, slot);
 }
 
 bool EventQueue::Cancel(EventId id) {
-  auto it = callbacks_.find(id);
-  if (it == callbacks_.end()) {
-    // Already fired, already cancelled, or never pushed. The id must NOT be
-    // added to cancelled_ here: entries in cancelled_ pair 1:1 with lazy heap
-    // entries, and an unpaired id would either never be reclaimed
-    // (already-fired events have no heap entry left) or be reclaimed twice
-    // (double-cancel), corrupting the pending-count bookkeeping.
+  const uint64_t low = id & 0xffffffffull;
+  if (low == 0) {
     return false;
   }
-  callbacks_.erase(it);
-  cancelled_.insert(id);
+  const auto slot = static_cast<uint32_t>(low - 1);
+  if (slot >= slots_.size()) {
+    return false;  // never issued
+  }
+  Slot& s = slots_[slot];
+  if (s.generation != static_cast<uint32_t>(id >> 32) || s.heap_pos == kNoPos) {
+    return false;  // already fired or already cancelled
+  }
+  RemoveFromHeap(s.heap_pos);
+  ReleaseSlot(slot);
   return true;
 }
 
-void EventQueue::SkipCancelled() {
-  while (!heap_.empty()) {
-    auto it = cancelled_.find(heap_.top().id);
-    if (it == cancelled_.end()) {
-      return;
-    }
-    cancelled_.erase(it);
-    heap_.pop();
-  }
-}
-
-bool EventQueue::Empty() {
-  SkipCancelled();
-  return heap_.empty();
-}
-
-SimTime EventQueue::PeekTime() {
-  SkipCancelled();
+SimTime EventQueue::PeekTime() const {
   OMEGA_CHECK(!heap_.empty());
-  return heap_.top().time;
+  return heap_[0].time;
 }
 
 EventQueue::Callback EventQueue::Pop(SimTime* time_out) {
-  SkipCancelled();
   OMEGA_CHECK(!heap_.empty());
-  const Entry entry = heap_.top();
-  heap_.pop();
-  auto it = callbacks_.find(entry.id);
-  OMEGA_CHECK(it != callbacks_.end());
-  Callback cb = std::move(it->second);
-  callbacks_.erase(it);
+  const uint32_t slot = heap_[0].slot;
   if (time_out != nullptr) {
-    *time_out = entry.time;
+    *time_out = heap_[0].time;
   }
+  Callback cb = std::move(slots_[slot].callback);
+  RemoveFromHeap(0);
+  ReleaseSlot(slot);
   return cb;
+}
+
+void EventQueue::RemoveFromHeap(size_t pos) {
+  const size_t last = heap_.size() - 1;
+  if (pos != last) {
+    PlaceEntry(pos, heap_[last]);
+  }
+  heap_.pop_back();
+  if (pos < heap_.size()) {
+    // The displaced entry may belong above (removed entry was in another
+    // subtree) or below its new position. SiftUp is a no-op in the latter
+    // case; if it does move the entry, the element it pulls down into `pos`
+    // came from an ancestor and already bounds the whole subtree, so the
+    // subsequent SiftDown is a no-op.
+    SiftUp(pos);
+    SiftDown(pos);
+  }
+}
+
+void EventQueue::SiftUp(size_t pos) {
+  const Entry moving = heap_[pos];
+  while (pos > 0) {
+    const size_t parent = (pos - 1) / kHeapArity;
+    if (!moving.Before(heap_[parent])) {
+      break;
+    }
+    PlaceEntry(pos, heap_[parent]);
+    pos = parent;
+  }
+  PlaceEntry(pos, moving);
+}
+
+void EventQueue::SiftDown(size_t pos) {
+  const Entry moving = heap_[pos];
+  const size_t size = heap_.size();
+  while (true) {
+    const size_t first_child = pos * kHeapArity + 1;
+    if (first_child >= size) {
+      break;
+    }
+    const size_t end_child = std::min(first_child + kHeapArity, size);
+    size_t best = first_child;
+    for (size_t c = first_child + 1; c < end_child; ++c) {
+      if (heap_[c].Before(heap_[best])) {
+        best = c;
+      }
+    }
+    if (!heap_[best].Before(moving)) {
+      break;
+    }
+    PlaceEntry(pos, heap_[best]);
+    pos = best;
+  }
+  PlaceEntry(pos, moving);
 }
 
 }  // namespace omega

@@ -1,5 +1,5 @@
-// Priority queue of timestamped events with O(log n) insertion and lazy
-// cancellation.
+// Priority queue of timestamped events with O(log n) insertion and O(log n)
+// in-place cancellation.
 //
 // Ties on the timestamp are broken by insertion order, which makes simulation
 // runs fully deterministic.
@@ -8,9 +8,6 @@
 
 #include <cstdint>
 #include <functional>
-#include <queue>
-#include <unordered_map>
-#include <unordered_set>
 #include <vector>
 
 #include "src/common/sim_time.h"
@@ -20,9 +17,16 @@ namespace omega {
 using EventId = uint64_t;
 inline constexpr EventId kInvalidEventId = 0;
 
-// Min-heap of events keyed by (time, sequence). Cancelled events stay in the
-// heap and are skipped on pop ("lazy deletion"); the cancelled-id set is kept
-// small by erasing ids as their entries surface.
+// Indexed 4-ary min-heap over a slab of event records.
+//
+// Every pending event owns one slot in a slab (`slots_`) recycled through a
+// free list, with its callback stored inline; the heap orders (time, sequence)
+// keys so same-time events fire in insertion order. Each slot tracks its heap
+// position, so Cancel() removes its entry in place — no tombstones, no
+// per-event hash-map traffic, and Empty()/PeekTime()/PendingCount() are plain
+// const reads. An EventId encodes (slot generation, slot index); generations
+// are bumped when a slot is vacated, which makes Cancel() on an already-fired,
+// already-cancelled, or never-issued id a detectable no-op.
 class EventQueue {
  public:
   using Callback = std::function<void()>;
@@ -34,45 +38,66 @@ class EventQueue {
   // id is a no-op. Returns true if the event was pending.
   bool Cancel(EventId id);
 
-  // True if no live (non-cancelled) events remain.
-  bool Empty();
+  // True if no live events remain.
+  bool Empty() const { return heap_.empty(); }
 
   // Time of the earliest live event. Must not be called when Empty().
-  SimTime PeekTime();
+  SimTime PeekTime() const;
 
-  // Removes and returns the earliest live event's callback, advancing past any
-  // cancelled entries. Must not be called when Empty().
+  // Removes and returns the earliest live event's callback. Must not be
+  // called when Empty().
   Callback Pop(SimTime* time_out);
 
-  // Count of live (pushed, not yet fired or cancelled) events. Counts the
-  // callback map rather than `heap_.size() - cancelled_.size()`: the sizes
-  // only agree while every cancelled id still has its lazy heap entry, and a
-  // stray cancelled id with no heap entry would make the subtraction
-  // underflow to a bogus huge count.
-  size_t PendingCount() const { return callbacks_.size(); }
+  // Count of live (pushed, not yet fired or cancelled) events.
+  size_t PendingCount() const { return heap_.size(); }
+
+  // Pre-sizes the slab and heap for `n` pending events.
+  void Reserve(size_t n);
 
  private:
+  static constexpr uint32_t kNoPos = ~0u;
+  static constexpr uint32_t kHeapArity = 4;
+
+  // One slab record. `heap_pos` is the slot's current index in `heap_`
+  // (kNoPos while the slot sits on the free list), so cancellation can find
+  // and remove its heap entry without searching.
+  struct Slot {
+    Callback callback;
+    uint32_t heap_pos = kNoPos;
+    uint32_t generation = 0;
+    uint32_t next_free = kNoPos;
+  };
+
+  // One heap element. The ordering key is duplicated here (rather than read
+  // through `slots_`) so sifting touches only the contiguous heap array.
   struct Entry {
     SimTime time;
     uint64_t sequence;
-    EventId id;
+    uint32_t slot;
 
-    bool operator>(const Entry& other) const {
+    bool Before(const Entry& other) const {
       if (time != other.time) {
-        return time > other.time;
+        return time < other.time;
       }
-      return sequence > other.sequence;
+      return sequence < other.sequence;
     }
   };
 
-  // Drops cancelled entries from the heap head.
-  void SkipCancelled();
+  uint32_t AcquireSlot();
+  void ReleaseSlot(uint32_t slot);
+  // Removes the heap entry at `pos`, restoring the heap property.
+  void RemoveFromHeap(size_t pos);
+  void SiftUp(size_t pos);
+  void SiftDown(size_t pos);
+  void PlaceEntry(size_t pos, const Entry& e) {
+    heap_[pos] = e;
+    slots_[e.slot].heap_pos = static_cast<uint32_t>(pos);
+  }
 
-  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap_;
-  std::unordered_map<EventId, Callback> callbacks_;
-  std::unordered_set<EventId> cancelled_;
+  std::vector<Slot> slots_;
+  std::vector<Entry> heap_;
+  uint32_t free_head_ = kNoPos;
   uint64_t next_sequence_ = 0;
-  EventId next_id_ = 1;
 };
 
 }  // namespace omega

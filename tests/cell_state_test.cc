@@ -338,5 +338,102 @@ TEST(AvailabilityIndexTest, MemoryBoundMachinesSortTight) {
   EXPECT_EQ(seen.size(), 2u);
 }
 
+// --- block availability summaries ---
+
+TEST(BlockSummaryTest, FreshCellAdvertisesFullCapacity) {
+  CellState cell(CellState::kBlockSize * 2 + 7, kMachine);
+  EXPECT_EQ(cell.NumBlocks(), 3u);
+  for (MachineId m = 0; m < cell.NumMachines(); m += 13) {
+    EXPECT_TRUE(cell.BlockMayFit(m, kMachine));
+    EXPECT_FALSE(cell.BlockMayFit(m, Resources{kMachine.cpus + 0.5, 1.0}));
+  }
+}
+
+TEST(BlockSummaryTest, SoundnessNeverRulesOutAFeasibleMachine) {
+  // Whatever BlockMayFit says "no" to must truly fit nowhere in the block.
+  CellState cell(CellState::kBlockSize * 3, kMachine);
+  Rng rng(42);
+  for (int step = 0; step < 5000; ++step) {
+    const auto m = static_cast<MachineId>(rng.NextBounded(cell.NumMachines()));
+    const Resources r{0.5 + rng.NextDouble(), 1.0 + 4.0 * rng.NextDouble()};
+    if (rng.NextBool(0.7)) {
+      if (cell.CanFit(m, r)) {
+        cell.Allocate(m, r);
+      }
+    } else if (!cell.machine(m).allocated.IsZero()) {
+      cell.Free(m, cell.machine(m).allocated);
+    }
+    const Resources probe{0.25 + 3.75 * rng.NextDouble(),
+                          1.0 + 15.0 * rng.NextDouble()};
+    const MachineId block_first =
+        (m / CellState::kBlockSize) * CellState::kBlockSize;
+    if (!cell.BlockMayFit(m, probe)) {
+      for (MachineId i = block_first;
+           i < block_first + CellState::kBlockSize && i < cell.NumMachines();
+           ++i) {
+        EXPECT_FALSE(cell.CanFit(i, probe)) << "machine " << i;
+      }
+    }
+  }
+  EXPECT_TRUE(cell.CheckInvariants());
+}
+
+// CheckInvariants verifies both soundness (summary dominates every machine)
+// and tightness (summary achieved by some machine), so a randomized
+// allocate/free/commit storm through every update path is a full regression
+// of the incremental maintenance.
+TEST(BlockSummaryTest, StaysExactThroughRandomizedChurn) {
+  for (const FullnessPolicy policy :
+       {FullnessPolicy::kExact, FullnessPolicy::kHeadroom}) {
+    CellState cell(150, kMachine, policy,
+                   policy == FullnessPolicy::kHeadroom ? 0.2 : 0.0);
+    Rng rng(7);
+    std::vector<std::pair<MachineId, Resources>> allocs;
+    for (int step = 0; step < 3000; ++step) {
+      const auto m = static_cast<MachineId>(rng.NextBounded(cell.NumMachines()));
+      const Resources r{0.25 + rng.NextDouble(), 0.5 + 2.0 * rng.NextDouble()};
+      if (rng.NextBool(0.6)) {
+        if (cell.CanFit(m, r)) {
+          cell.Allocate(m, r);
+          allocs.emplace_back(m, r);
+        }
+      } else if (rng.NextBool(0.5) && !allocs.empty()) {
+        const size_t pick = rng.NextBounded(allocs.size());
+        cell.Free(allocs[pick].first, allocs[pick].second);
+        allocs[pick] = allocs.back();
+        allocs.pop_back();
+      } else {
+        // Commit path: accepted claims stay allocated for good, pushing the
+        // cell toward the near-full regime the summary exists for.
+        std::vector<TaskClaim> claims;
+        for (int c = 0; c < 3; ++c) {
+          const auto cm =
+              static_cast<MachineId>(rng.NextBounded(cell.NumMachines()));
+          claims.push_back(TaskClaim{cm, r, cell.machine(cm).seqnum});
+        }
+        cell.Commit(claims, ConflictMode::kFineGrained,
+                    CommitMode::kIncremental);
+      }
+      if (step % 100 == 0) {
+        // Consulting each block refreshes any dirty summary, so the
+        // invariant check below exercises tightness on every block.
+        for (MachineId b = 0; b < cell.NumBlocks(); ++b) {
+          cell.BlockMayFit(b * CellState::kBlockSize, kTask);
+        }
+        ASSERT_TRUE(cell.CheckInvariants()) << "step " << step;
+      }
+    }
+    ASSERT_TRUE(cell.CheckInvariants());
+  }
+}
+
+TEST(BlockSummaryTest, NextBlockStartJumpsToBoundary) {
+  EXPECT_EQ(CellState::NextBlockStart(0), CellState::kBlockSize);
+  EXPECT_EQ(CellState::NextBlockStart(CellState::kBlockSize - 1),
+            CellState::kBlockSize);
+  EXPECT_EQ(CellState::NextBlockStart(CellState::kBlockSize),
+            2 * CellState::kBlockSize);
+}
+
 }  // namespace
 }  // namespace omega

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <vector>
 
 #include "src/common/random.h"
@@ -128,6 +129,100 @@ TEST(EventQueueTest, PeekSkipsCancelledHead) {
   q.Push(SimTime(5), [] {});
   q.Cancel(id);
   EXPECT_EQ(q.PeekTime(), SimTime(5));
+}
+
+TEST(EventQueueTest, InspectorsAreConstCallable) {
+  EventQueue q;
+  q.Push(SimTime(3), [] {});
+  const EventQueue& cq = q;
+  EXPECT_FALSE(cq.Empty());
+  EXPECT_EQ(cq.PeekTime(), SimTime(3));
+  EXPECT_EQ(cq.PendingCount(), 1u);
+}
+
+TEST(EventQueueTest, IdsAreUniqueAcrossSlotReuse) {
+  // Slots are recycled through a free list; ids must not be. A stale id held
+  // across a pop must never cancel the slot's new occupant.
+  EventQueue q;
+  const EventId first = q.Push(SimTime(1), [] {});
+  q.Pop(nullptr);
+  bool fired = false;
+  const EventId second = q.Push(SimTime(2), [&] { fired = true; });
+  EXPECT_NE(first, second);
+  EXPECT_FALSE(q.Cancel(first));
+  EXPECT_EQ(q.PendingCount(), 1u);
+  q.Pop(nullptr)();
+  EXPECT_TRUE(fired);
+  EXPECT_NE(first, kInvalidEventId);
+  EXPECT_NE(second, kInvalidEventId);
+}
+
+// Differential regression against a trivially correct reference model: the
+// slab/heap implementation must pop the exact same (time, insertion-order)
+// sequence as the seed's lazy-tombstone queue under randomized push/cancel/pop
+// interleavings, with matching Cancel results and pending counts throughout.
+TEST(EventQueueTest, MatchesReferenceModelUnderRandomizedInterleavings) {
+  struct RefEvent {
+    int64_t time;
+    uint64_t seq;
+    EventId id;
+  };
+  for (uint64_t seed : {1u, 2u, 3u, 4u}) {
+    EventQueue q;
+    std::vector<RefEvent> ref;  // live events, unordered
+    std::vector<EventId> issued;
+    uint64_t next_seq = 0;
+    Rng rng(seed);
+    for (int step = 0; step < 20000; ++step) {
+      const double roll = rng.NextDouble();
+      if (roll < 0.5 || ref.empty()) {
+        const auto t = static_cast<int64_t>(rng.NextBounded(50));
+        const EventId id = q.Push(SimTime(t), [] {});
+        ref.push_back(RefEvent{t, next_seq++, id});
+        issued.push_back(id);
+      } else if (roll < 0.75) {
+        // Cancel a random issued id (live, fired, or already cancelled).
+        const EventId id = issued[rng.NextBounded(issued.size())];
+        bool ref_live = false;
+        for (size_t i = 0; i < ref.size(); ++i) {
+          if (ref[i].id == id) {
+            ref[i] = ref.back();
+            ref.pop_back();
+            ref_live = true;
+            break;
+          }
+        }
+        EXPECT_EQ(q.Cancel(id), ref_live);
+      } else {
+        // Pop: must match the reference minimum by (time, seq).
+        size_t best = 0;
+        for (size_t i = 1; i < ref.size(); ++i) {
+          if (ref[i].time < ref[best].time ||
+              (ref[i].time == ref[best].time && ref[i].seq < ref[best].seq)) {
+            best = i;
+          }
+        }
+        EXPECT_EQ(q.PeekTime(), SimTime(ref[best].time));
+        SimTime when;
+        q.Pop(&when);
+        EXPECT_EQ(when, SimTime(ref[best].time));
+        ref[best] = ref.back();
+        ref.pop_back();
+      }
+      ASSERT_EQ(q.PendingCount(), ref.size()) << "step " << step;
+      ASSERT_EQ(q.Empty(), ref.empty());
+    }
+    // Drain: remaining pops must come out in exact (time, seq) order.
+    std::sort(ref.begin(), ref.end(), [](const RefEvent& a, const RefEvent& b) {
+      return a.time != b.time ? a.time < b.time : a.seq < b.seq;
+    });
+    for (const RefEvent& e : ref) {
+      SimTime when;
+      q.Pop(&when);
+      EXPECT_EQ(when, SimTime(e.time));
+    }
+    EXPECT_TRUE(q.Empty());
+  }
 }
 
 TEST(SimulatorTest, ClockAdvancesToEventTime) {

@@ -7,6 +7,7 @@
 
 #include <cstdlib>
 #include <fstream>
+#include <iterator>
 #include <set>
 #include <sstream>
 #include <stdexcept>
@@ -162,12 +163,84 @@ TEST(SweepDeterminismTest, Fig5SweepIdenticalAcrossThreadCounts) {
   }
 }
 
+// Bit-identical regression against seed behavior: these golden values were
+// captured from the pre-overhaul simulator (priority_queue + lazy-tombstone
+// event queue, unpruned placement scan) at commit f3f58e8, Release build, by
+// running RunFig56Sweep(Duration::FromDays(0.004), runner, 3) serially and
+// printing every field at %.17g. The indexed event slab and the
+// block-summary placement pruning must not move ANY of these numbers: the
+// event queue pops the same (time, insertion-order) sequence, and the pruned
+// scan only skips machines that could never be chosen.
+TEST(SweepDeterminismTest, Fig5SweepMatchesSeedGoldens) {
+  struct Golden {
+    const char* arch;
+    const char* cluster;
+    double t_job_secs;
+    double batch_wait;
+    double service_wait;
+    double batch_busy;
+    double batch_busy_mad;
+    double service_busy;
+    double service_busy_mad;
+    long long abandoned;
+  };
+  static constexpr Golden kGolden[] = {
+      {"mono-single", "A", 0.01, 0.35810137145969495, 0.60821516666666664, 0.19081307870370454, 0, 0.19081307870370454, 0, 0},
+      {"mono-single", "A", 1, 110.57116944680847, 96.259733999999995, 1, 0, 1, 0, 0},
+      {"mono-single", "A", 100, 149.18958900000001, 0, 1, 0, 1, 0, 0},
+      {"mono-single", "B", 0.01, 0.010851626062322947, 0, 0.049898726851851788, 0, 0.049898726851851788, 0, 0},
+      {"mono-single", "B", 1, 36.526920896969678, 37.894711799999996, 1, 0, 1, 0, 0},
+      {"mono-single", "B", 100, 146.54060200000001, 0, 1, 0, 1, 0, 0},
+      {"mono-single", "C", 0.01, 0.20543388524590164, 0, 0.075491898148148148, 0, 0.075491898148148148, 0, 0},
+      {"mono-single", "C", 1, 2.3980126640316208, 2.0010374999999998, 0.8365885416666643, 0, 0.8365885416666643, 0, 0},
+      {"mono-single", "C", 100, 146.97280624999999, 0, 1, 0, 1, 0, 0},
+      {"mono-multi", "A", 0.01, 0.25805040549450547, 0.87945300000000004, 0.41238425925925909, 0, 0.41238425925925909, 0, 0},
+      {"mono-multi", "A", 1, 0.22850834676564138, 0.053920666666666672, 0.43074363425926049, 0, 0.43074363425926049, 0, 0},
+      {"mono-multi", "A", 100, 29.779923723650395, 2.5036619999999998, 0.92524594907407631, 0, 0.92524594907407631, 0, 0},
+      {"mono-multi", "B", 0.01, 0.079715182795698947, 0, 0.16537905092592539, 0, 0.16537905092592539, 0, 0},
+      {"mono-multi", "B", 1, 0.12389177628032348, 0.12642466666666669, 0.20879629629629579, 0, 0.20879629629629579, 0, 0},
+      {"mono-multi", "B", 100, 81.354557092391317, 75.226221249999995, 1, 0, 1, 0, 0},
+      {"mono-multi", "C", 0.01, 0.059811987755102027, 0, 0.1050491898148147, 0, 0.1050491898148147, 0, 0},
+      {"mono-multi", "C", 1, 0.024634778723404253, 0.030712555555555559, 0.11953124999999981, 0, 0.11953124999999981, 0, 0},
+      {"mono-multi", "C", 100, 51.580935257142855, 65.315072999999998, 0.90789930555555576, 0, 0.90789930555555576, 0, 0},
+      {"omega", "A", 0.01, 0.17871788255033555, 0, 0.38203125000000054, 0, 0.00072337962962962948, 0, 0},
+      {"omega", "A", 1, 0.43564019913885904, 0, 0.41986400462962947, 0, 0.008998842592592593, 0, 0},
+      {"omega", "A", 100, 0.22022789887640468, 64.386239000000003, 0.41323784722222279, 0, 0.86835937500000004, 0, 0},
+      {"omega", "B", 0.01, 0.014338062827225133, 0, 0.14380787037036979, 0, 0.00078124999999999983, 0, 0},
+      {"omega", "B", 1, 0.37723597593582869, 0.080352599999999996, 0.21183449074074059, 0, 0.029629629629629624, 0, 0},
+      {"omega", "B", 100, 0.020923341597796144, 95.70052475, 0.14218749999999972, 0, 1, 0, 0},
+      {"omega", "C", 0.01, 0.014253648000000001, 0, 0.0942563657407407, 0, 0.0011574074074074073, 0, 0},
+      {"omega", "C", 1, 0.057344087452471486, 0.080009999999999998, 0.11814236111111104, 0, 0.029311342592592587, 0, 0},
+      {"omega", "C", 100, 0.056803409448818912, 124.80843300000001, 0.11025752314814807, 0, 1, 0, 0},
+  };
+  SweepRunner runner("test_fig5_goldens", kFig56BaseSeed, 1);
+  const auto results =
+      RunFig56Sweep(Duration::FromDays(0.004), runner, /*tjob_points=*/3);
+  ASSERT_EQ(results.size(), std::size(kGolden));
+  for (size_t i = 0; i < results.size(); ++i) {
+    const SweepResult& r = results[i];
+    const Golden& g = kGolden[i];
+    EXPECT_EQ(r.arch, g.arch) << "trial " << i;
+    EXPECT_EQ(r.cluster, g.cluster) << "trial " << i;
+    EXPECT_EQ(r.t_job_secs, g.t_job_secs) << "trial " << i;
+    EXPECT_EQ(r.batch_wait, g.batch_wait) << "trial " << i;
+    EXPECT_EQ(r.service_wait, g.service_wait) << "trial " << i;
+    EXPECT_EQ(r.batch_busy, g.batch_busy) << "trial " << i;
+    EXPECT_EQ(r.batch_busy_mad, g.batch_busy_mad) << "trial " << i;
+    EXPECT_EQ(r.service_busy, g.service_busy) << "trial " << i;
+    EXPECT_EQ(r.service_busy_mad, g.service_busy_mad) << "trial " << i;
+    EXPECT_EQ(r.abandoned, g.abandoned) << "trial " << i;
+  }
+}
+
 TEST(SweepReportTest, JsonContainsAllSections) {
   SweepRunner runner("test_json", 5, 2);
   runner.Run(4, [](const TrialContext& ctx) { return ctx.index; });
   runner.report().AddMetric("answer", 42.0);
   const std::string json = runner.report().ToJson();
   EXPECT_NE(json.find("\"figure\": \"test_json\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"git_sha\": \""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"build_type\": \""), std::string::npos) << json;
   EXPECT_NE(json.find("\"base_seed\": 5"), std::string::npos) << json;
   EXPECT_NE(json.find("\"threads\": 2"), std::string::npos) << json;
   EXPECT_NE(json.find("\"trials\": 4"), std::string::npos) << json;
@@ -193,6 +266,17 @@ TEST(SweepReportTest, WriteJsonHonorsOutputDirEnv) {
   std::stringstream contents;
   contents << in.rdbuf();
   EXPECT_EQ(contents.str(), runner.report().ToJson());
+}
+
+TEST(SweepRunnerTest, EnvGitShaOverridesCompiledProvenance) {
+  setenv("OMEGA_GIT_SHA", "deadbeef1234", 1);
+  SweepRunner runner("test_env_sha", 1, 1);
+  unsetenv("OMEGA_GIT_SHA");
+  EXPECT_EQ(runner.report().git_sha, "deadbeef1234");
+  EXPECT_FALSE(runner.report().build_type.empty());
+  const std::string json = runner.report().ToJson();
+  EXPECT_NE(json.find("\"git_sha\": \"deadbeef1234\""), std::string::npos)
+      << json;
 }
 
 TEST(SweepRunnerTest, EnvSeedOverridesBaseSeed) {
