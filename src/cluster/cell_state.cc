@@ -209,6 +209,27 @@ void CellState::VisitByAvailability(
   }
 }
 
+std::vector<TaskClaim> ReconstructAcceptedClaims(
+    std::span<const TaskClaim> claims, std::span<const TaskClaim> rejected,
+    int expected_accepted) {
+  std::vector<TaskClaim> accepted;
+  accepted.reserve(claims.size() - rejected.size());
+  size_t reject_idx = 0;
+  for (const TaskClaim& claim : claims) {
+    if (reject_idx < rejected.size() &&
+        claim.machine == rejected[reject_idx].machine &&
+        claim.seqnum_at_placement == rejected[reject_idx].seqnum_at_placement &&
+        claim.resources == rejected[reject_idx].resources) {
+      ++reject_idx;
+      continue;
+    }
+    accepted.push_back(claim);
+  }
+  OMEGA_CHECK(reject_idx == rejected.size());
+  OMEGA_CHECK(accepted.size() == static_cast<size_t>(expected_accepted));
+  return accepted;
+}
+
 CommitResult CellState::Commit(std::span<const TaskClaim> claims,
                                ConflictMode conflict_mode, CommitMode commit_mode,
                                std::vector<TaskClaim>* rejected) {
@@ -276,6 +297,9 @@ CommitResult CellState::Commit(std::span<const TaskClaim> claims,
     if (rejected != nullptr) {
       rejected->assign(claims.begin(), claims.end());
     }
+    if (commit_observer_) {
+      commit_observer_(claims, result);
+    }
     return result;
   }
 
@@ -290,6 +314,9 @@ CommitResult CellState::Commit(std::span<const TaskClaim> claims,
         rejected->push_back(claims[i]);
       }
     }
+  }
+  if (commit_observer_) {
+    commit_observer_(claims, result);
   }
   return result;
 }

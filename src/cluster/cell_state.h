@@ -58,6 +58,17 @@ struct CommitResult {
   bool AllAccepted() const { return conflicted == 0; }
 };
 
+// Reconstructs the accepted subset of `claims` after a Commit that rejected
+// some of them. Commit reports rejected claims in claim order, so a single
+// forward merge suffices; entries are matched on (machine,
+// seqnum_at_placement, resources), which also handles duplicate identical
+// claims with partial rejection (the first matching occurrences are dropped).
+// CHECK-fails if `rejected` is not an in-order subsequence of `claims` or the
+// result does not hold exactly `expected_accepted` claims.
+std::vector<TaskClaim> ReconstructAcceptedClaims(
+    std::span<const TaskClaim> claims, std::span<const TaskClaim> rejected,
+    int expected_accepted);
+
 class CellState {
  public:
   // Builds a homogeneous cell of `num_machines` machines with the given
@@ -104,6 +115,16 @@ class CellState {
   CommitResult Commit(std::span<const TaskClaim> claims, ConflictMode conflict_mode,
                       CommitMode commit_mode,
                       std::vector<TaskClaim>* rejected = nullptr);
+
+  // Observer invoked after every non-empty Commit with the transaction's
+  // claims and outcome — the state-store-side tracing seam (every writer
+  // passes through here: monolithic, Mesos frameworks, Omega schedulers).
+  // Null by default; the observer must not mutate cell state.
+  using CommitObserver =
+      std::function<void(std::span<const TaskClaim>, const CommitResult&)>;
+  void SetCommitObserver(CommitObserver observer) {
+    commit_observer_ = std::move(observer);
+  }
 
   Resources TotalCapacity() const { return total_capacity_; }
   Resources TotalAllocated() const { return total_allocated_; }
@@ -217,6 +238,8 @@ class CellState {
   // readers.
   mutable std::vector<Resources> block_max_avail_;
   mutable std::vector<uint8_t> block_dirty_;
+
+  CommitObserver commit_observer_;
 
   // Availability index state (empty when disabled).
   std::vector<std::vector<MachineId>> buckets_;

@@ -1,0 +1,43 @@
+#include "src/common/json.h"
+
+#include <cmath>
+#include <limits>
+
+namespace omega {
+namespace json {
+
+void AppendNumber(std::ostream& os, double v) {
+  if (std::isfinite(v)) {
+    const auto saved = os.precision(std::numeric_limits<double>::max_digits10);
+    os << v;
+    os.precision(saved);
+  } else {
+    os << "null";
+  }
+}
+
+void AppendString(std::ostream& os, std::string_view s) {
+  os << '"';
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        os << "\\\"";
+        break;
+      case '\\':
+        os << "\\\\";
+        break;
+      case '\n':
+        os << "\\n";
+        break;
+      case '\t':
+        os << "\\t";
+        break;
+      default:
+        os << c;
+    }
+  }
+  os << '"';
+}
+
+}  // namespace json
+}  // namespace omega

@@ -1,0 +1,24 @@
+// Minimal JSON emission helpers shared by the machine-readable outputs
+// (BENCH_<figure>.json, RunReport, trace exports). Writing only — the repo
+// never parses JSON, so there is deliberately no reader here.
+#ifndef OMEGA_SRC_COMMON_JSON_H_
+#define OMEGA_SRC_COMMON_JSON_H_
+
+#include <cstdint>
+#include <ostream>
+#include <string_view>
+
+namespace omega {
+namespace json {
+
+// JSON-safe rendering of a double: full round-trip precision, and the
+// non-finite values JSON cannot represent become null.
+void AppendNumber(std::ostream& os, double v);
+
+// Quoted and escaped string literal.
+void AppendString(std::ostream& os, std::string_view s);
+
+}  // namespace json
+}  // namespace omega
+
+#endif  // OMEGA_SRC_COMMON_JSON_H_

@@ -1,53 +1,18 @@
 #include "src/exp/sweep.h"
 
 #include <algorithm>
-#include <cmath>
 #include <cstdlib>
 #include <fstream>
-#include <limits>
 #include <sstream>
 #include <thread>
 
+#include "src/common/json.h"
 #include "src/exp/experiment.h"
 
 namespace omega {
-namespace {
 
-// JSON-safe rendering of a double: full round-trip precision, and the
-// non-finite values JSON cannot represent become null.
-void AppendJsonNumber(std::ostringstream& os, double v) {
-  if (std::isfinite(v)) {
-    os.precision(std::numeric_limits<double>::max_digits10);
-    os << v;
-  } else {
-    os << "null";
-  }
-}
-
-void AppendJsonString(std::ostringstream& os, const std::string& s) {
-  os << '"';
-  for (char c : s) {
-    switch (c) {
-      case '"':
-        os << "\\\"";
-        break;
-      case '\\':
-        os << "\\\\";
-        break;
-      case '\n':
-        os << "\\n";
-        break;
-      case '\t':
-        os << "\\t";
-        break;
-      default:
-        os << c;
-    }
-  }
-  os << '"';
-}
-
-}  // namespace
+using json::AppendNumber;
+using json::AppendString;
 
 double SweepReport::TrialSecondsTotal() const {
   double total = 0.0;
@@ -71,26 +36,26 @@ void SweepReport::AddMetric(const std::string& key, double value) {
 std::string SweepReport::ToJson() const {
   std::ostringstream os;
   os << "{\n  \"figure\": ";
-  AppendJsonString(os, name);
+  AppendString(os, name);
   os << ",\n  \"git_sha\": ";
-  AppendJsonString(os, git_sha);
+  AppendString(os, git_sha);
   os << ",\n  \"build_type\": ";
-  AppendJsonString(os, build_type);
+  AppendString(os, build_type);
   os << ",\n  \"base_seed\": " << base_seed;
   os << ",\n  \"threads\": " << threads;
   os << ",\n  \"trials\": " << trials;
   os << ",\n  \"wall_seconds\": ";
-  AppendJsonNumber(os, wall_seconds);
+  AppendNumber(os, wall_seconds);
   os << ",\n  \"trial_seconds_total\": ";
-  AppendJsonNumber(os, TrialSecondsTotal());
+  AppendNumber(os, TrialSecondsTotal());
   os << ",\n  \"speedup_vs_serial\": ";
-  AppendJsonNumber(os, SpeedupVsSerial());
+  AppendNumber(os, SpeedupVsSerial());
   os << ",\n  \"trial_wall_seconds\": [";
   for (size_t i = 0; i < trial_wall_seconds.size(); ++i) {
     if (i > 0) {
       os << ", ";
     }
-    AppendJsonNumber(os, trial_wall_seconds[i]);
+    AppendNumber(os, trial_wall_seconds[i]);
   }
   os << "],\n  \"metrics\": {";
   for (size_t i = 0; i < metrics.size(); ++i) {
@@ -98,9 +63,9 @@ std::string SweepReport::ToJson() const {
       os << ", ";
     }
     os << "\n    ";
-    AppendJsonString(os, metrics[i].first);
+    AppendString(os, metrics[i].first);
     os << ": ";
-    AppendJsonNumber(os, metrics[i].second);
+    AppendNumber(os, metrics[i].second);
   }
   if (!metrics.empty()) {
     os << "\n  ";

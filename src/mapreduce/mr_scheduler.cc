@@ -39,22 +39,24 @@ void MapReduceScheduler::BeginAttempt(const JobPtr& job) {
         harness_.cell().Commit(*claims, config_.conflict_mode,
                                config_.commit_mode, &rejected);
     metrics_.RecordTransaction(result.accepted, result.conflicted);
+    if (TraceRecorder* trace = harness_.trace()) {
+      const SimTime now = harness_.sim().Now();
+      if (!claims->empty()) {
+        trace->TxnCommit(now, TraceTrack(), job->id, result.accepted,
+                         result.conflicted);
+      }
+      for (const TaskClaim& claim : rejected) {
+        trace->ClaimConflict(now, TraceTrack(), job->id, claim.machine,
+                             claim.seqnum_at_placement,
+                             harness_.cell().machine(claim.machine).seqnum);
+      }
+    }
     if (result.accepted > 0) {
       if (result.conflicted == 0) {
         StartPlacedTasks(*job, *claims);
       } else {
-        std::vector<TaskClaim> accepted;
-        size_t reject_idx = 0;
-        for (const TaskClaim& claim : *claims) {
-          if (reject_idx < rejected.size() &&
-              claim.machine == rejected[reject_idx].machine &&
-              claim.resources == rejected[reject_idx].resources) {
-            ++reject_idx;
-            continue;
-          }
-          accepted.push_back(claim);
-        }
-        StartPlacedTasks(*job, accepted);
+        StartPlacedTasks(*job, ReconstructAcceptedClaims(*claims, rejected,
+                                                         result.accepted));
       }
     }
     CompleteAttempt(job, static_cast<uint32_t>(result.accepted),

@@ -18,6 +18,14 @@ void MesosFramework::Submit(const JobPtr& job) {
   sim_.allocator().Trigger();
 }
 
+uint16_t MesosFramework::TraceTrack() {
+  if (trace_track_ < 0) {
+    TraceRecorder* trace = sim_.trace();
+    trace_track_ = trace ? trace->RegisterTrack(config_.name) : 0;
+  }
+  return static_cast<uint16_t>(trace_track_);
+}
+
 void MesosFramework::HandleOffer(ResourceOffer offer) {
   OMEGA_CHECK(!busy_);
   OMEGA_CHECK(!queue_.empty());
@@ -38,6 +46,10 @@ void MesosFramework::HandleOffer(ResourceOffer offer) {
     decision = Duration(1);
   }
   metrics_.AddBusyInterval(now, now + decision);
+  if (TraceRecorder* trace = sim_.trace()) {
+    trace->AttemptBegin(now, TraceTrack(), job->id, job->scheduling_attempts,
+                        remaining);
+  }
 
   // The framework only sees the offered resources — not the whole cell
   // ("restricted visibility", §3.3/§3.4). Place tasks greedily onto offer
@@ -72,6 +84,14 @@ void MesosFramework::FinishAttempt(const JobPtr& job, ResourceOffer offer,
   OMEGA_CHECK(result.conflicted == 0)
       << "offer-locked resources must commit cleanly";
   metrics_.RecordTransaction(result.accepted, 0);
+  if (TraceRecorder* trace = sim_.trace()) {
+    const SimTime when = sim_.sim().Now();
+    if (!claims.empty()) {
+      trace->TxnCommit(when, TraceTrack(), job->id, result.accepted, 0);
+    }
+    trace->AttemptEnd(when, TraceTrack(), job->id, result.accepted,
+                      /*had_conflict=*/false);
+  }
 
   Resources used;
   for (const TaskClaim& c : claims) {

@@ -60,6 +60,8 @@ class MesosFramework {
   void FinishAttempt(const JobPtr& job, ResourceOffer offer,
                      std::vector<TaskClaim> claims);
   void ReleaseHoard(const JobPtr& job);
+  // Trace track for this framework, registered lazily under config_.name.
+  uint16_t TraceTrack();
 
   MesosSimulation& sim_;
   SchedulerConfig config_;
@@ -67,6 +69,7 @@ class MesosFramework {
   SchedulerMetrics metrics_;
   std::deque<JobPtr> queue_;
   bool busy_ = false;
+  int32_t trace_track_ = -1;  // lazily registered; -1 = not yet
   // Gang scheduling by hoarding: claims held per incomplete job.
   std::unordered_map<JobId, std::vector<TaskClaim>> hoards_;
 };

@@ -25,11 +25,11 @@ double OverallMeanWait(const SchedulerMetrics& m) {
 
 }  // namespace
 
-SchedulerAuditEntry AuditScheduler(const QueueScheduler& scheduler, SimTime end,
-                                   const AuditPolicy& policy) {
-  const SchedulerMetrics& m = scheduler.metrics();
+SchedulerAuditEntry AuditMetrics(const std::string& name,
+                                 const SchedulerMetrics& m, SimTime end,
+                                 const AuditPolicy& policy) {
   SchedulerAuditEntry entry;
-  entry.scheduler = scheduler.name();
+  entry.scheduler = name;
   entry.jobs_scheduled = TotalScheduled(m);
   entry.jobs_abandoned = m.JobsAbandonedTotal();
   entry.tasks_accepted = m.TasksAccepted();
@@ -62,6 +62,11 @@ SchedulerAuditEntry AuditScheduler(const QueueScheduler& scheduler, SimTime end,
     }
   }
   return entry;
+}
+
+SchedulerAuditEntry AuditScheduler(const QueueScheduler& scheduler, SimTime end,
+                                   const AuditPolicy& policy) {
+  return AuditMetrics(scheduler.name(), scheduler.metrics(), end, policy);
 }
 
 AuditReport AuditSchedulers(const std::vector<const QueueScheduler*>& schedulers,

@@ -48,6 +48,13 @@ struct AuditPolicy {
   double max_abandoned_fraction = 0.01;
 };
 
+// Audits one named metrics object against the policy at time `end`. Works for
+// any scheduling component that keeps SchedulerMetrics — Omega/monolithic
+// queue schedulers and Mesos frameworks alike.
+SchedulerAuditEntry AuditMetrics(const std::string& name,
+                                 const SchedulerMetrics& metrics, SimTime end,
+                                 const AuditPolicy& policy = {});
+
 // Audits one scheduler against the policy at time `end`.
 SchedulerAuditEntry AuditScheduler(const QueueScheduler& scheduler, SimTime end,
                                    const AuditPolicy& policy = {});

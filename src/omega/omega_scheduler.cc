@@ -40,6 +40,11 @@ void OmegaScheduler::BeginAttempt(const JobPtr& job) {
   if (gang && placed_locally < remaining) {
     // Gang semantics: do not claim a partial placement; retry the whole job
     // once the decision time has been spent (the work is still paid for).
+    if (TraceRecorder* trace = harness_.trace()) {
+      trace->GangAbort(harness_.sim().Now(), TraceTrack(), job->id,
+                       static_cast<int64_t>(claims->size()),
+                       /*at_commit=*/false);
+    }
     claims->clear();
     placed_locally = 0;
   }
@@ -51,27 +56,31 @@ void OmegaScheduler::BeginAttempt(const JobPtr& job) {
     const CommitResult result = harness_.cell().Commit(
         *claims, config_.conflict_mode, config_.commit_mode, &rejected);
     metrics_.RecordTransaction(result.accepted, result.conflicted);
+    if (TraceRecorder* trace = harness_.trace()) {
+      const SimTime now = harness_.sim().Now();
+      if (!claims->empty()) {
+        trace->TxnCommit(now, TraceTrack(), job->id, result.accepted,
+                         result.conflicted);
+      }
+      for (const TaskClaim& claim : rejected) {
+        trace->ClaimConflict(now, TraceTrack(), job->id, claim.machine,
+                             claim.seqnum_at_placement,
+                             harness_.cell().machine(claim.machine).seqnum);
+      }
+      if (config_.commit_mode == CommitMode::kAllOrNothing &&
+          result.conflicted > 0) {
+        trace->GangAbort(now, TraceTrack(), job->id, result.conflicted,
+                         /*at_commit=*/true);
+      }
+    }
     if (result.accepted > 0) {
       // Accepted claims are prefix-stable only for incremental commits where
       // rejected entries were removed; reconstruct the accepted set.
       if (result.conflicted == 0) {
         StartPlacedTasks(*job, *claims);
       } else {
-        std::vector<TaskClaim> accepted;
-        accepted.reserve(result.accepted);
-        size_t reject_idx = 0;
-        for (const TaskClaim& claim : *claims) {
-          if (reject_idx < rejected.size() &&
-              claim.machine == rejected[reject_idx].machine &&
-              claim.seqnum_at_placement == rejected[reject_idx].seqnum_at_placement &&
-              claim.resources == rejected[reject_idx].resources) {
-            ++reject_idx;
-            continue;
-          }
-          accepted.push_back(claim);
-        }
-        OMEGA_CHECK(accepted.size() == static_cast<size_t>(result.accepted));
-        StartPlacedTasks(*job, accepted);
+        StartPlacedTasks(*job, ReconstructAcceptedClaims(*claims, rejected,
+                                                         result.accepted));
       }
     }
     uint32_t placed_total = static_cast<uint32_t>(result.accepted);
@@ -81,16 +90,20 @@ void OmegaScheduler::BeginAttempt(const JobPtr& job) {
       // the victims their work, so it only runs when the normal placement
       // could not finish the job.
       std::vector<TaskClaim> preempted_claims;
+      int victims = 0;
       const uint32_t still_needed = job->TasksRemaining() - placed_total;
       for (uint32_t t = 0; t < still_needed; ++t) {
-        const MachineId m = harness_.PreemptAndPlace(*job, rng_);
+        const MachineId m = harness_.PreemptAndPlace(*job, rng_, &victims);
         if (m == kInvalidMachineId) {
           break;
         }
         preempted_claims.push_back(TaskClaim{m, job->task_resources, 0});
       }
       if (!preempted_claims.empty()) {
-        metrics_.RecordTransaction(static_cast<int>(preempted_claims.size()), 0);
+        // Eviction-won placements are not optimistic transactions: account
+        // them separately so they cannot dilute the conflict statistics.
+        metrics_.RecordPreemption(static_cast<int>(preempted_claims.size()),
+                                  victims);
         StartPlacedTasks(*job, preempted_claims);
         placed_total += static_cast<uint32_t>(preempted_claims.size());
       }

@@ -104,9 +104,26 @@ void ClusterSimulation::ScheduleNextArrival(JobType type) {
   sim_.ScheduleAt(when, [this, type] {
     auto job = std::make_shared<Job>(generator_.GenerateJob(type, sim_.Now()));
     CountSubmission(type);
+    if (trace_ != nullptr) {
+      trace_->JobSubmit(sim_.Now(), job->id, job->type == JobType::kService,
+                        job->num_tasks);
+    }
     SubmitJob(job);
     ScheduleNextArrival(type);
   });
+}
+
+void ClusterSimulation::SetTraceRecorder(TraceRecorder* recorder) {
+  trace_ = recorder;
+  if (recorder == nullptr) {
+    cell_.SetCommitObserver(nullptr);
+    return;
+  }
+  cell_.SetCommitObserver(
+      [this](std::span<const TaskClaim> claims, const CommitResult& result) {
+        trace_->CellCommit(sim_.Now(), static_cast<int64_t>(claims.size()),
+                           result.accepted, result.conflicted);
+      });
 }
 
 void ClusterSimulation::ScheduleUtilizationSample() {
@@ -165,11 +182,16 @@ void ClusterSimulation::FailMachine(MachineId machine) {
   // Kill every task running on the machine; their work is lost and their
   // owners observe the failure only through the freed state (the paper notes
   // failures "only generate a small load on the scheduler").
+  int64_t killed_here = 0;
   for (const RunningTask& task : registry_.TasksOn(machine)) {
     sim_.Cancel(task.end_event);
     registry_.Remove(task.task_id);
     cell_.Free(task.machine, task.resources);
     ++tasks_killed_by_failures_;
+    ++killed_here;
+  }
+  if (trace_ != nullptr) {
+    trace_->MachineFailure(sim_.Now(), machine, killed_here);
   }
   // Take the machine out of service by reserving all remaining capacity; the
   // sequence-number bump doubles as the state change other schedulers see.
@@ -189,6 +211,9 @@ void ClusterSimulation::FailMachine(MachineId machine) {
     }
     machine_down_[machine] = 0;
     --machines_down_;
+    if (trace_ != nullptr) {
+      trace_->MachineRepair(sim_.Now(), machine);
+    }
     OnTaskFreed();
   });
 }
@@ -203,6 +228,10 @@ void ClusterSimulation::RunTrace(std::vector<Job> trace) {
     auto ptr = std::make_shared<Job>(std::move(job));
     sim_.ScheduleAt(ptr->submit_time, [this, ptr] {
       CountSubmission(ptr->type);
+      if (trace_ != nullptr) {
+        trace_->JobSubmit(sim_.Now(), ptr->id, ptr->type == JobType::kService,
+                          ptr->num_tasks);
+      }
       SubmitJob(ptr);
     });
   }
@@ -213,37 +242,76 @@ void ClusterSimulation::RunTrace(std::vector<Job> trace) {
 void ClusterSimulation::StartTasks(const Job& job,
                                    std::span<const TaskClaim> claims,
                                    std::function<void(const TaskClaim&)> on_task_end) {
+  // The trace-disabled closures below are kept byte-identical to the
+  // untraced build: the extra job-id capture would grow every task-end
+  // closure and measurably slow the event loop, so the instrumented variants
+  // are only instantiated when a recorder is attached (the attachment state
+  // cannot change between schedule and fire).
+  const JobId job_id = job.id;
   for (const TaskClaim& claim : claims) {
     const SimTime end = sim_.Now() + job.task_duration;
+    if (trace_ != nullptr) {
+      trace_->TaskStart(sim_.Now(), job_id, claim.machine);
+    }
     if (options_.track_running_tasks) {
       const uint64_t task_id =
           registry_.Add(claim.machine, claim.resources, job.precedence, 0);
-      const EventId eid =
-          sim_.ScheduleAt(end, [this, claim, task_id, on_task_end] {
-            if (on_task_end != nullptr) {
-              on_task_end(claim);
-            }
-            registry_.Remove(task_id);
-            cell_.Free(claim.machine, claim.resources);
-            OnTaskFreed();
-          });
+      EventId eid;
+      if (trace_ != nullptr) {
+        eid = sim_.ScheduleAt(end, [this, claim, task_id, job_id, on_task_end] {
+          if (on_task_end != nullptr) {
+            on_task_end(claim);
+          }
+          trace_->TaskEnd(sim_.Now(), job_id, claim.machine);
+          registry_.Remove(task_id);
+          cell_.Free(claim.machine, claim.resources);
+          OnTaskFreed();
+        });
+      } else {
+        eid = sim_.ScheduleAt(end, [this, claim, task_id, on_task_end] {
+          if (on_task_end != nullptr) {
+            on_task_end(claim);
+          }
+          registry_.Remove(task_id);
+          cell_.Free(claim.machine, claim.resources);
+          OnTaskFreed();
+        });
+      }
       registry_.SetEndEvent(task_id, eid);
     } else if (on_task_end == nullptr) {
-      sim_.ScheduleAt(end, [this, claim] {
-        cell_.Free(claim.machine, claim.resources);
-        OnTaskFreed();
-      });
+      if (trace_ != nullptr) {
+        sim_.ScheduleAt(end, [this, claim, job_id] {
+          trace_->TaskEnd(sim_.Now(), job_id, claim.machine);
+          cell_.Free(claim.machine, claim.resources);
+          OnTaskFreed();
+        });
+      } else {
+        sim_.ScheduleAt(end, [this, claim] {
+          cell_.Free(claim.machine, claim.resources);
+          OnTaskFreed();
+        });
+      }
     } else {
-      sim_.ScheduleAt(end, [this, claim, on_task_end] {
-        on_task_end(claim);
-        cell_.Free(claim.machine, claim.resources);
-        OnTaskFreed();
-      });
+      if (trace_ != nullptr) {
+        sim_.ScheduleAt(end, [this, claim, job_id, on_task_end] {
+          on_task_end(claim);
+          trace_->TaskEnd(sim_.Now(), job_id, claim.machine);
+          cell_.Free(claim.machine, claim.resources);
+          OnTaskFreed();
+        });
+      } else {
+        sim_.ScheduleAt(end, [this, claim, on_task_end] {
+          on_task_end(claim);
+          cell_.Free(claim.machine, claim.resources);
+          OnTaskFreed();
+        });
+      }
     }
   }
 }
 
-MachineId ClusterSimulation::PreemptAndPlace(const Job& job, Rng& rng) {
+MachineId ClusterSimulation::PreemptAndPlace(const Job& job, Rng& rng,
+                                             int* victims_evicted) {
   OMEGA_CHECK(options_.track_running_tasks)
       << "preemption requires SimOptions::track_running_tasks";
   const uint32_t num_machines = cell_.NumMachines();
@@ -270,6 +338,13 @@ MachineId ClusterSimulation::PreemptAndPlace(const Job& job, Rng& rng) {
       registry_.Remove(victim.task_id);
       cell_.Free(victim.machine, victim.resources);
       ++tasks_preempted_;
+      if (victims_evicted != nullptr) {
+        ++*victims_evicted;
+      }
+      if (trace_ != nullptr) {
+        trace_->Preemption(sim_.Now(), job.id, victim.machine,
+                           victim.precedence, victim.task_id);
+      }
     }
     cell_.Allocate(m, job.task_resources);
     return true;

@@ -14,6 +14,7 @@
 #include "src/cluster/cell_state.h"
 #include "src/cluster/task_registry.h"
 #include "src/common/random.h"
+#include "src/obs/trace_recorder.h"
 #include "src/scheduler/config.h"
 #include "src/sim/simulator.h"
 #include "src/workload/generator.h"
@@ -76,6 +77,16 @@ class ClusterSimulation {
   WorkloadGenerator& generator() { return generator_; }
   Rng& rng() { return rng_; }
 
+  // --- lifecycle tracing (off by default) ---
+
+  // Attaches a TraceRecorder; call before Run()/RunTrace(). The recorder is
+  // borrowed, not owned, and must outlive the simulation. Attaching installs
+  // the CellState commit observer; every instrumentation hook is a null check
+  // when no recorder is attached, and recording never schedules events or
+  // samples RNGs, so results are bit-identical with tracing on or off.
+  void SetTraceRecorder(TraceRecorder* recorder);
+  TraceRecorder* trace() const { return trace_; }
+
   // --- preemption support (requires SimOptions::track_running_tasks) ---
 
   // Attempts to place one task of `job` by evicting running tasks of strictly
@@ -83,7 +94,10 @@ class ClusterSimulation {
   // victims' end events cancelled; returns the machine used, or
   // kInvalidMachineId if no machine can supply the resources even with
   // preemption. The caller starts the new task via StartTasks.
-  MachineId PreemptAndPlace(const Job& job, Rng& rng);
+  // `victims_evicted`, if non-null, is incremented by the number of tasks
+  // evicted for this placement (zero when the task fit without eviction).
+  MachineId PreemptAndPlace(const Job& job, Rng& rng,
+                            int* victims_evicted = nullptr);
 
   int64_t TasksPreempted() const { return tasks_preempted_; }
   const TaskRegistry& task_registry() const { return registry_; }
@@ -124,6 +138,7 @@ class ClusterSimulation {
 
   TaskRegistry registry_;
   int64_t tasks_preempted_ = 0;
+  TraceRecorder* trace_ = nullptr;
 
   // Failure injection state: capacity reserved on down machines, pending
   // repair.

@@ -55,7 +55,7 @@ void SchedulerMetrics::RecordJobWait(JobType type, Duration wait) {
 void SchedulerMetrics::RecordJobScheduled(SimTime when, JobType type,
                                           uint32_t attempts,
                                           uint32_t conflicted_attempts) {
-  (void)attempts;
+  attempts_per_job_.Add(static_cast<double>(attempts));
   const size_t day = DayIndex(when);
   EnsureDay(day);
   conflicts_per_day_[day] += conflicted_attempts;
@@ -79,6 +79,11 @@ void SchedulerMetrics::RecordJobAbandoned(JobType type) {
 void SchedulerMetrics::RecordTransaction(int accepted_tasks, int conflicted_tasks) {
   tasks_accepted_ += accepted_tasks;
   tasks_conflicted_ += conflicted_tasks;
+}
+
+void SchedulerMetrics::RecordPreemption(int tasks_placed, int victims_evicted) {
+  tasks_placed_by_preemption_ += tasks_placed;
+  preemption_victims_ += victims_evicted;
 }
 
 DailySummary SchedulerMetrics::Summarize(const std::vector<double>& values) {
@@ -108,9 +113,35 @@ std::vector<double> SchedulerMetrics::DailyBusyness(SimTime end) const {
     const int64_t day_start = static_cast<int64_t>(day) * day_length_.micros();
     const int64_t span =
         std::min(day_length_.micros(), std::max<int64_t>(1, end.micros() - day_start));
-    out.push_back(std::min(1.0, busy / (static_cast<double>(span) / 1e6)));
+    const double fraction = busy / (static_cast<double>(span) / 1e6);
+    if (fraction > 1.0 && !clamp_warned_) {
+      // Clamping hides double-counted busy intervals; surface the first one.
+      // (An attempt running past the horizon legitimately clamps the final
+      // day — BusynessClampEvents() lets callers tell the cases apart.)
+      clamp_warned_ = true;
+      OMEGA_LOG(kWarning) << "daily busyness clamped: day " << day << " busy "
+                          << busy << "s exceeds span "
+                          << static_cast<double>(span) / 1e6 << "s";
+    }
+    out.push_back(std::min(1.0, fraction));
   }
   return out;
+}
+
+int64_t SchedulerMetrics::BusynessClampEvents(SimTime end) const {
+  const size_t days = std::max<size_t>(
+      1, static_cast<size_t>((end.micros() + day_length_.micros() - 1) /
+                             day_length_.micros()));
+  int64_t clamps = 0;
+  for (size_t day = 0; day < days && day < busy_secs_per_day_.size(); ++day) {
+    const int64_t day_start = static_cast<int64_t>(day) * day_length_.micros();
+    const int64_t span =
+        std::min(day_length_.micros(), std::max<int64_t>(1, end.micros() - day_start));
+    if (busy_secs_per_day_[day] > static_cast<double>(span) / 1e6) {
+      ++clamps;
+    }
+  }
+  return clamps;
 }
 
 std::vector<double> SchedulerMetrics::DailyConflictFraction(SimTime end) const {

@@ -42,15 +42,23 @@ class SchedulerMetrics {
   void RecordJobWait(JobType type, Duration wait);
 
   // Called when a job finishes scheduling (all tasks placed). `attempts` is
-  // the total number of scheduling attempts, `conflicted_attempts` how many of
-  // them hit a commit conflict. `when` attributes the conflicts to a day.
+  // the total number of scheduling attempts (recorded into the per-job
+  // attempt-count distribution), `conflicted_attempts` how many of them hit a
+  // commit conflict. `when` attributes the conflicts to a day.
   void RecordJobScheduled(SimTime when, JobType type, uint32_t attempts,
                           uint32_t conflicted_attempts);
 
   void RecordJobAbandoned(JobType type);
 
-  // Raw transaction-level accounting (accepted/conflicted task claims).
+  // Raw transaction-level accounting (accepted/conflicted task claims from
+  // optimistic commits — preemption placements are NOT transactions and go
+  // through RecordPreemption instead).
   void RecordTransaction(int accepted_tasks, int conflicted_tasks);
+
+  // Placements won by evicting lower-precedence tasks (§3.4). Kept separate
+  // from the transaction counters: folding eviction-won tasks into
+  // TasksAccepted would skew the transaction-level conflict statistics.
+  void RecordPreemption(int tasks_placed, int victims_evicted);
 
   // --- queries (after the run; `end` is the simulation end time) ---
 
@@ -71,9 +79,25 @@ class SchedulerMetrics {
   int64_t TotalAttempts() const { return total_attempts_; }
   Duration TotalBusy() const { return total_busy_; }
 
+  // Preemption accounting (separate from the optimistic-commit counters).
+  int64_t TasksPlacedByPreemption() const { return tasks_placed_by_preemption_; }
+  int64_t PreemptionVictims() const { return preemption_victims_; }
+
+  // Attempts-per-job distribution over successfully scheduled jobs (Fig. 14
+  // analysis wants attempts per job, not just conflicts per job).
+  const Cdf& AttemptsPerJob() const { return attempts_per_job_; }
+  double MeanAttemptsPerJob() const { return attempts_per_job_.MeanValue(); }
+
   // Daily series (value per simulated day), for plots.
   std::vector<double> DailyBusyness(SimTime end) const;
   std::vector<double> DailyConflictFraction(SimTime end) const;
+
+  // Number of day buckets whose recorded busy time exceeds the day's
+  // simulated span, i.e. days where DailyBusyness silently clamped to 1.0.
+  // A scheduler is busy with at most one attempt at a time, so the only
+  // legitimate clamp is the final day when an attempt runs past the horizon;
+  // anything else indicates double-counted busy intervals.
+  int64_t BusynessClampEvents(SimTime end) const;
 
  private:
   size_t DayIndex(SimTime t) const;
@@ -89,6 +113,7 @@ class SchedulerMetrics {
 
   std::vector<double> wait_secs_batch_;
   std::vector<double> wait_secs_service_;
+  Cdf attempts_per_job_;
 
   int64_t jobs_scheduled_batch_ = 0;
   int64_t jobs_scheduled_service_ = 0;
@@ -96,9 +121,13 @@ class SchedulerMetrics {
   int64_t jobs_abandoned_service_ = 0;
   int64_t tasks_accepted_ = 0;
   int64_t tasks_conflicted_ = 0;
+  int64_t tasks_placed_by_preemption_ = 0;
+  int64_t preemption_victims_ = 0;
   int64_t total_conflicted_attempts_ = 0;
   int64_t total_attempts_ = 0;
   Duration total_busy_;
+  // Warn-once latch for busyness clamping (mutable: set from const queries).
+  mutable bool clamp_warned_ = false;
 };
 
 }  // namespace omega

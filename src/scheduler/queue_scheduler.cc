@@ -29,6 +29,14 @@ void QueueScheduler::TryStartNext() {
   BeginAttempt(job);
 }
 
+uint16_t QueueScheduler::TraceTrack() {
+  if (trace_track_ < 0) {
+    TraceRecorder* trace = harness_.trace();
+    trace_track_ = trace ? trace->RegisterTrack(config_.name) : 0;
+  }
+  return static_cast<uint16_t>(trace_track_);
+}
+
 Duration QueueScheduler::AccountAttemptStart(const JobPtr& job,
                                              uint32_t tasks_in_attempt) {
   const SimTime now = harness_.sim().Now();
@@ -44,6 +52,10 @@ Duration QueueScheduler::AccountAttemptStart(const JobPtr& job,
   metrics_.AddBusyInterval(now, now + d, pending_conflict_retry_);
   pending_conflict_retry_ = false;
   busy_ = true;
+  if (TraceRecorder* trace = harness_.trace()) {
+    trace->AttemptBegin(now, TraceTrack(), job->id, job->scheduling_attempts,
+                        tasks_in_attempt);
+  }
   return d;
 }
 
@@ -77,6 +89,9 @@ void QueueScheduler::CompleteAttempt(const JobPtr& job, uint32_t tasks_placed,
     ++job->conflicted_attempts;
   }
   const SimTime now = harness_.sim().Now();
+  if (TraceRecorder* trace = harness_.trace()) {
+    trace->AttemptEnd(now, TraceTrack(), job->id, tasks_placed, had_conflict);
+  }
   if (job->FullyScheduled()) {
     metrics_.RecordJobScheduled(now, job->type, job->scheduling_attempts,
                                 job->conflicted_attempts);

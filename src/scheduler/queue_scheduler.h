@@ -60,6 +60,10 @@ class QueueScheduler {
 
   void TryStartNext();
 
+  // Trace track for this scheduler, registered lazily under config_.name.
+  // Returns 0 (the cluster track) when no recorder is attached.
+  uint16_t TraceTrack();
+
   ClusterSimulation& harness_;
   SchedulerConfig config_;
   SchedulerMetrics metrics_;
@@ -74,6 +78,7 @@ class QueueScheduler {
   // Marks whether the in-flight attempt was triggered by a conflict on the
   // previous attempt of the same job (for the no-conflict busyness estimate).
   bool pending_conflict_retry_ = false;
+  int32_t trace_track_ = -1;  // lazily registered; -1 = not yet
 };
 
 }  // namespace omega

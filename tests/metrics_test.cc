@@ -146,5 +146,84 @@ TEST(MetricsTest, BusynessCappedAtOne) {
   EXPECT_LE(m.Busyness(kDay1).median, 1.0);
 }
 
+TEST(MetricsTest, BusynessClampEventsCounted) {
+  SchedulerMetrics m;
+  // Day 0 double-counted (40 h of "busy" in a 24 h day), day 1 legitimate.
+  m.AddBusyInterval(SimTime::Zero(), SimTime::Zero() + Duration::FromHours(20));
+  m.AddBusyInterval(SimTime::Zero(), SimTime::Zero() + Duration::FromHours(20));
+  m.AddBusyInterval(kDay1, kDay1 + Duration::FromHours(10));
+  const SimTime end = SimTime::Zero() + Duration::FromDays(2);
+  EXPECT_EQ(m.BusynessClampEvents(end), 1);
+  // No double counting anywhere: no clamps.
+  SchedulerMetrics clean;
+  clean.AddBusyInterval(SimTime::Zero(), SimTime::Zero() + Duration::FromHours(23));
+  EXPECT_EQ(clean.BusynessClampEvents(kDay1), 0);
+}
+
+TEST(MetricsTest, BusynessClampOnPartialFinalDay) {
+  SchedulerMetrics m;
+  // A 6-hour run whose final attempt runs past the horizon: busy exceeds the
+  // elapsed span of the (only) day, the legitimate clamp case.
+  m.AddBusyInterval(SimTime::Zero(), SimTime::Zero() + Duration::FromHours(6) +
+                                         Duration::FromSeconds(30));
+  const SimTime end = SimTime::Zero() + Duration::FromHours(6);
+  EXPECT_EQ(m.BusynessClampEvents(end), 1);
+  EXPECT_NEAR(m.DailyBusyness(end)[0], 1.0, 1e-9);
+}
+
+TEST(MetricsTest, BusyIntervalSplitsAcrossMultipleDayBoundaries) {
+  SchedulerMetrics m;
+  // One interval spanning parts of day 0 and 2 and all of day 1: from 18:00
+  // of day 0 to 06:00 of day 2 (36 hours total).
+  m.AddBusyInterval(SimTime::Zero() + Duration::FromHours(18),
+                    SimTime::Zero() + Duration::FromHours(54));
+  const SimTime end = SimTime::Zero() + Duration::FromDays(3);
+  const auto daily = m.DailyBusyness(end);
+  ASSERT_EQ(daily.size(), 3u);
+  EXPECT_NEAR(daily[0], 6.0 / 24.0, 1e-9);
+  EXPECT_NEAR(daily[1], 1.0, 1e-9);
+  EXPECT_NEAR(daily[2], 6.0 / 24.0, 1e-9);
+  EXPECT_NEAR(m.TotalBusy().ToSeconds(), 36.0 * 3600.0, 1e-6);
+  // Exactly one attempt was accounted, not one per split segment.
+  EXPECT_EQ(m.TotalAttempts(), 1);
+  EXPECT_EQ(m.BusynessClampEvents(end), 0);
+}
+
+TEST(MetricsTest, BusyIntervalSplitWithPartialFinalDay) {
+  SchedulerMetrics m;
+  // Interval from 12:00 of day 0 to 06:00 of day 1, horizon at 06:00 day 1:
+  // the final day's partial span normalizes to fully busy.
+  m.AddBusyInterval(SimTime::Zero() + Duration::FromHours(12),
+                    SimTime::Zero() + Duration::FromHours(30));
+  const SimTime end = SimTime::Zero() + Duration::FromHours(30);
+  const auto daily = m.DailyBusyness(end);
+  ASSERT_EQ(daily.size(), 2u);
+  EXPECT_NEAR(daily[0], 0.5, 1e-9);
+  EXPECT_NEAR(daily[1], 1.0, 1e-9);
+  EXPECT_EQ(m.BusynessClampEvents(end), 0);
+}
+
+TEST(MetricsTest, AttemptsPerJobDistributionRecorded) {
+  SchedulerMetrics m;
+  // Regression: RecordJobScheduled used to silently discard `attempts`.
+  m.RecordJobScheduled(SimTime::FromSeconds(1), JobType::kBatch, 1, 0);
+  m.RecordJobScheduled(SimTime::FromSeconds(2), JobType::kBatch, 4, 3);
+  m.RecordJobScheduled(SimTime::FromSeconds(3), JobType::kService, 7, 2);
+  EXPECT_EQ(m.AttemptsPerJob().count(), 3u);
+  EXPECT_DOUBLE_EQ(m.MeanAttemptsPerJob(), 4.0);
+  EXPECT_DOUBLE_EQ(m.AttemptsPerJob().MaxValue(), 7.0);
+}
+
+TEST(MetricsTest, PreemptionAccountedSeparatelyFromTransactions) {
+  SchedulerMetrics m;
+  m.RecordTransaction(5, 2);
+  m.RecordPreemption(/*tasks_placed=*/3, /*victims_evicted=*/4);
+  // Eviction-won placements must not leak into the optimistic-commit counters.
+  EXPECT_EQ(m.TasksAccepted(), 5);
+  EXPECT_EQ(m.TasksConflicted(), 2);
+  EXPECT_EQ(m.TasksPlacedByPreemption(), 3);
+  EXPECT_EQ(m.PreemptionVictims(), 4);
+}
+
 }  // namespace
 }  // namespace omega

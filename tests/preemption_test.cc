@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include "src/cluster/task_registry.h"
+#include "src/obs/trace_recorder.h"
 #include "src/omega/omega_scheduler.h"
 #include "src/workload/cluster_config.h"
 
@@ -151,6 +152,48 @@ TEST(PreemptionTest, BatchNeverEvictsService) {
   // Batch may preempt other *batch* tasks (same precedence -> never), so no
   // preemptions can occur at all in this setup.
   EXPECT_EQ(sim.TasksPreempted(), 0);
+}
+
+TEST(PreemptionTest, PreemptionAccountedSeparatelyFromTransactions) {
+  // Regression: eviction-won placements used to be recorded via
+  // RecordTransaction(n, 0) with fabricated zero-seqnum claims, inflating
+  // TasksAccepted and diluting the conflict fraction. They now flow through
+  // RecordPreemption and stay out of the optimistic-commit counters.
+  SchedulerConfig batch;
+  batch.max_attempts = 20;
+  batch.no_progress_backoff = Duration::FromSeconds(5);
+  SchedulerConfig service = batch;
+  service.enable_preemption = true;
+
+  TraceRecorder trace;
+  OmegaSimulation sim(SaturatedCell(), PreemptRun(), batch, service);
+  sim.SetTraceRecorder(&trace);
+  sim.Run();
+  ASSERT_GT(sim.TasksPreempted(), 0);
+
+  const SchedulerMetrics& sm = sim.service_scheduler().metrics();
+  EXPECT_GT(sm.TasksPlacedByPreemption(), 0);
+  EXPECT_GT(sm.PreemptionVictims(), 0);
+  // Only the service scheduler preempts; its victim count is the harness's.
+  EXPECT_EQ(sm.PreemptionVictims(), sim.TasksPreempted());
+  for (uint32_t i = 0; i < sim.NumBatchSchedulers(); ++i) {
+    EXPECT_EQ(sim.batch_scheduler(i).metrics().TasksPlacedByPreemption(), 0);
+    EXPECT_EQ(sim.batch_scheduler(i).metrics().PreemptionVictims(), 0);
+  }
+
+  // TasksAccepted must reconcile with the committed-transaction event stream
+  // alone — with the old accounting it would exceed SumArg0(kTxnCommit) by
+  // the preemption placements.
+  int64_t accepted = sm.TasksAccepted();
+  int64_t started = sm.TasksAccepted() + sm.TasksPlacedByPreemption();
+  for (uint32_t i = 0; i < sim.NumBatchSchedulers(); ++i) {
+    const SchedulerMetrics& bm = sim.batch_scheduler(i).metrics();
+    accepted += bm.TasksAccepted();
+    started += bm.TasksAccepted() + bm.TasksPlacedByPreemption();
+  }
+  EXPECT_EQ(trace.SumArg0(TraceEventType::kTxnCommit), accepted);
+  EXPECT_EQ(trace.CountOf(TraceEventType::kTaskStart), started);
+  EXPECT_EQ(trace.CountOf(TraceEventType::kPreemption), sim.TasksPreempted());
 }
 
 TEST(PreemptionDeathTest, RequiresRegistry) {
