@@ -1,6 +1,5 @@
 // Shared helpers for the figure/table reproduction benches.
-#ifndef OMEGA_BENCH_BENCH_COMMON_H_
-#define OMEGA_BENCH_BENCH_COMMON_H_
+#pragma once
 
 #include <iostream>
 #include <string>
@@ -56,4 +55,3 @@ inline void FinishSweep(const SweepRunner& runner) {
 
 }  // namespace omega
 
-#endif  // OMEGA_BENCH_BENCH_COMMON_H_

@@ -3,8 +3,7 @@
 // varying t_job (single-path varies it for all jobs; the others for service
 // jobs only). Runs on the deterministic parallel sweep engine; the caller
 // owns the SweepRunner and decides what summary metrics go into its JSON.
-#ifndef OMEGA_BENCH_FIG56_SWEEP_H_
-#define OMEGA_BENCH_FIG56_SWEEP_H_
+#pragma once
 
 #include <string>
 #include <vector>
@@ -100,4 +99,3 @@ inline std::vector<SweepResult> RunFig56Sweep(const Duration horizon,
 
 }  // namespace omega
 
-#endif  // OMEGA_BENCH_FIG56_SWEEP_H_

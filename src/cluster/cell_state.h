@@ -6,8 +6,7 @@
 // optimistic concurrency control with either fine-grained (per-machine
 // resource re-check) or coarse-grained (sequence number) conflict detection,
 // and either incremental or all-or-nothing (gang) acceptance semantics (§5.2).
-#ifndef OMEGA_SRC_CLUSTER_CELL_STATE_H_
-#define OMEGA_SRC_CLUSTER_CELL_STATE_H_
+#pragma once
 
 #include <cstdint>
 #include <functional>
@@ -251,4 +250,3 @@ class CellState {
 
 }  // namespace omega
 
-#endif  // OMEGA_SRC_CLUSTER_CELL_STATE_H_

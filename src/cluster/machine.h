@@ -1,6 +1,5 @@
 // A single machine in a cell.
-#ifndef OMEGA_SRC_CLUSTER_MACHINE_H_
-#define OMEGA_SRC_CLUSTER_MACHINE_H_
+#pragma once
 
 #include <cstdint>
 #include <vector>
@@ -34,4 +33,3 @@ struct Machine {
 
 }  // namespace omega
 
-#endif  // OMEGA_SRC_CLUSTER_MACHINE_H_

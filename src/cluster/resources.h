@@ -3,8 +3,7 @@
 // The paper's clusters schedule over two resource dimensions; all comparisons
 // are componentwise with a small epsilon so that repeated allocate/free cycles
 // do not accumulate floating-point drift into spurious "does not fit" results.
-#ifndef OMEGA_SRC_CLUSTER_RESOURCES_H_
-#define OMEGA_SRC_CLUSTER_RESOURCES_H_
+#pragma once
 
 #include <algorithm>
 #include <ostream>
@@ -75,4 +74,3 @@ inline std::ostream& operator<<(std::ostream& os, const Resources& r) {
 
 }  // namespace omega
 
-#endif  // OMEGA_SRC_CLUSTER_RESOURCES_H_

@@ -7,8 +7,7 @@
 // which tasks run where; this registry tracks them when preemption is enabled
 // (the simulations leave it off by default, like the paper's high-fidelity
 // simulator, because it makes little difference and costs memory).
-#ifndef OMEGA_SRC_CLUSTER_TASK_REGISTRY_H_
-#define OMEGA_SRC_CLUSTER_TASK_REGISTRY_H_
+#pragma once
 
 #include <cstdint>
 #include <unordered_map>
@@ -67,4 +66,3 @@ class TaskRegistry {
 
 }  // namespace omega
 
-#endif  // OMEGA_SRC_CLUSTER_TASK_REGISTRY_H_

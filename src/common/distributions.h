@@ -6,8 +6,7 @@
 // exponential inter-arrival times, log-normal durations and resource sizes,
 // bounded-Pareto task counts, and piecewise empirical distributions for cases
 // where a parametric family does not fit.
-#ifndef OMEGA_SRC_COMMON_DISTRIBUTIONS_H_
-#define OMEGA_SRC_COMMON_DISTRIBUTIONS_H_
+#pragma once
 
 #include <memory>
 #include <vector>
@@ -150,4 +149,3 @@ class ClampedDist final : public Distribution {
 
 }  // namespace omega
 
-#endif  // OMEGA_SRC_COMMON_DISTRIBUTIONS_H_

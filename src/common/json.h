@@ -1,8 +1,7 @@
 // Minimal JSON emission helpers shared by the machine-readable outputs
 // (BENCH_<figure>.json, RunReport, trace exports). Writing only — the repo
 // never parses JSON, so there is deliberately no reader here.
-#ifndef OMEGA_SRC_COMMON_JSON_H_
-#define OMEGA_SRC_COMMON_JSON_H_
+#pragma once
 
 #include <cstdint>
 #include <ostream>
@@ -21,4 +20,3 @@ void AppendString(std::ostream& os, std::string_view s);
 }  // namespace json
 }  // namespace omega
 
-#endif  // OMEGA_SRC_COMMON_JSON_H_

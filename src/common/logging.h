@@ -2,8 +2,7 @@
 //
 // Simulation hot paths must be able to compile logging out entirely; the
 // macros below evaluate their stream arguments only when the level is enabled.
-#ifndef OMEGA_SRC_COMMON_LOGGING_H_
-#define OMEGA_SRC_COMMON_LOGGING_H_
+#pragma once
 
 #include <cstdlib>
 #include <iostream>
@@ -65,4 +64,3 @@ class LogMessage {
     ::omega::LogMessage(::omega::LogLevel::kFatal, __FILE__, __LINE__).stream() \
         << "Check failed: " #cond " "
 
-#endif  // OMEGA_SRC_COMMON_LOGGING_H_

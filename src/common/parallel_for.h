@@ -3,8 +3,7 @@
 // Experiment sweeps run many independent simulations (one per parameter
 // point); each is single-threaded and deterministic, so they parallelize
 // trivially across a thread pool.
-#ifndef OMEGA_SRC_COMMON_PARALLEL_FOR_H_
-#define OMEGA_SRC_COMMON_PARALLEL_FOR_H_
+#pragma once
 
 #include <atomic>
 #include <cstddef>
@@ -26,4 +25,3 @@ void ParallelFor(size_t n, const std::function<void(size_t)>& fn,
 
 }  // namespace omega
 
-#endif  // OMEGA_SRC_COMMON_PARALLEL_FOR_H_

@@ -4,8 +4,7 @@
 // independent streams (one per sweep point, one per workload type) so that
 // experiments are deterministic regardless of execution order or parallelism.
 // xoshiro256** is used as the core generator, seeded via SplitMix64.
-#ifndef OMEGA_SRC_COMMON_RANDOM_H_
-#define OMEGA_SRC_COMMON_RANDOM_H_
+#pragma once
 
 #include <array>
 #include <cstdint>
@@ -55,4 +54,3 @@ uint64_t SubstreamSeed(uint64_t base_seed, uint64_t stream_index);
 
 }  // namespace omega
 
-#endif  // OMEGA_SRC_COMMON_RANDOM_H_

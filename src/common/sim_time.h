@@ -3,8 +3,7 @@
 // Simulated time is represented as integer microseconds since the start of the
 // simulation. A strong type prevents accidental mixing with other integer
 // quantities (task counts, sequence numbers, ...) that pervade the simulator.
-#ifndef OMEGA_SRC_COMMON_SIM_TIME_H_
-#define OMEGA_SRC_COMMON_SIM_TIME_H_
+#pragma once
 
 #include <cstdint>
 #include <limits>
@@ -112,4 +111,3 @@ inline std::ostream& operator<<(std::ostream& os, Duration d) {
 
 }  // namespace omega
 
-#endif  // OMEGA_SRC_COMMON_SIM_TIME_H_

@@ -4,8 +4,7 @@
 // (MAD) error bars, overall means for wait times, percentiles (90th, 80th),
 // and empirical CDFs. These helpers implement all of those plus streaming
 // moments for workload characterization.
-#ifndef OMEGA_SRC_COMMON_STATS_H_
-#define OMEGA_SRC_COMMON_STATS_H_
+#pragma once
 
 #include <cstddef>
 #include <cstdint>
@@ -117,4 +116,3 @@ class Histogram {
 
 }  // namespace omega
 
-#endif  // OMEGA_SRC_COMMON_STATS_H_

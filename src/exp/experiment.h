@@ -1,6 +1,5 @@
 // Shared utilities for the figure/table reproduction benches.
-#ifndef OMEGA_SRC_EXP_EXPERIMENT_H_
-#define OMEGA_SRC_EXP_EXPERIMENT_H_
+#pragma once
 
 #include <iosfwd>
 #include <string>
@@ -52,4 +51,3 @@ size_t BenchThreads();
 
 }  // namespace omega
 
-#endif  // OMEGA_SRC_EXP_EXPERIMENT_H_

@@ -7,8 +7,7 @@
 // bit-identical regardless of thread count, records per-trial wall-clock, and
 // emits a machine-readable JSON summary (BENCH_<figure>.json) used to track
 // the perf trajectory across PRs. See EXPERIMENTS.md ("Sweep engine").
-#ifndef OMEGA_SRC_EXP_SWEEP_H_
-#define OMEGA_SRC_EXP_SWEEP_H_
+#pragma once
 
 #include <chrono>
 #include <cstdint>
@@ -126,4 +125,3 @@ Cdf MergeTrialCdfs(const std::vector<Cdf>& per_trial);
 
 }  // namespace omega
 
-#endif  // OMEGA_SRC_EXP_SWEEP_H_

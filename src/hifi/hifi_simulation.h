@@ -9,8 +9,7 @@
 //    conflicts under fine-grained detection.
 // Preemption is supported but disabled by default, matching the paper ("we
 // found that they make little difference to the results").
-#ifndef OMEGA_SRC_HIFI_HIFI_SIMULATION_H_
-#define OMEGA_SRC_HIFI_HIFI_SIMULATION_H_
+#pragma once
 
 #include <memory>
 #include <string>
@@ -58,4 +57,3 @@ std::vector<Job> RoundTripTrace(const std::vector<Job>& jobs,
 
 }  // namespace omega
 
-#endif  // OMEGA_SRC_HIFI_HIFI_SIMULATION_H_

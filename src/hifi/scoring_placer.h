@@ -10,8 +10,7 @@
 //    choices onto the same attractive machines and thereby produces the
 //    higher conflict rates the paper reports for the high-fidelity simulator;
 //  - its cost is modeled by the same t_job + t_task * tasks linear model.
-#ifndef OMEGA_SRC_HIFI_SCORING_PLACER_H_
-#define OMEGA_SRC_HIFI_SCORING_PLACER_H_
+#pragma once
 
 #include "src/scheduler/placement.h"
 
@@ -41,4 +40,3 @@ class ScoringPlacer final : public TaskPlacer {
 
 }  // namespace omega
 
-#endif  // OMEGA_SRC_HIFI_SCORING_PLACER_H_

@@ -6,8 +6,7 @@
 // scaling up each job with the performance model, apportions idle resources
 // per the configured policy, and places the chosen number of workers through
 // ordinary optimistic transactions.
-#ifndef OMEGA_SRC_MAPREDUCE_MR_SCHEDULER_H_
-#define OMEGA_SRC_MAPREDUCE_MR_SCHEDULER_H_
+#pragma once
 
 #include <memory>
 #include <vector>
@@ -70,4 +69,3 @@ class MapReduceSimulation final : public ClusterSimulation {
 
 }  // namespace omega
 
-#endif  // OMEGA_SRC_MAPREDUCE_MR_SCHEDULER_H_

@@ -4,8 +4,7 @@
 // linear speedup (modulo the dependency between mappers and reducers), up to
 // the point where all map activities, and all reduce activities respectively,
 // run in parallel.
-#ifndef OMEGA_SRC_MAPREDUCE_PERF_MODEL_H_
-#define OMEGA_SRC_MAPREDUCE_PERF_MODEL_H_
+#pragma once
 
 #include <cstdint>
 
@@ -27,4 +26,3 @@ double PredictSpeedup(const MapReduceSpec& spec, int64_t workers);
 
 }  // namespace omega
 
-#endif  // OMEGA_SRC_MAPREDUCE_PERF_MODEL_H_

@@ -7,8 +7,7 @@
 //  - relative job size: at most 4x the workers the job initially requested.
 // In each case candidate allocations are run through the predictive model and
 // the one with the earliest finish time is chosen.
-#ifndef OMEGA_SRC_MAPREDUCE_POLICY_H_
-#define OMEGA_SRC_MAPREDUCE_POLICY_H_
+#pragma once
 
 #include <cstdint>
 #include <string>
@@ -46,4 +45,3 @@ int64_t ChooseWorkers(const MapReducePolicyOptions& options, const Job& job,
 
 }  // namespace omega
 
-#endif  // OMEGA_SRC_MAPREDUCE_POLICY_H_

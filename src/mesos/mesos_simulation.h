@@ -7,13 +7,12 @@
 // control is pessimistic. The allocator aims at dominant resource fairness
 // (DRF) by offering all available resources to the framework furthest below
 // its dominant share.
-#ifndef OMEGA_SRC_MESOS_MESOS_SIMULATION_H_
-#define OMEGA_SRC_MESOS_MESOS_SIMULATION_H_
+#pragma once
 
 #include <deque>
 #include <memory>
 #include <string>
-#include <unordered_map>
+#include <map>
 #include <vector>
 
 #include "src/mesos/offer.h"
@@ -70,8 +69,11 @@ class MesosFramework {
   std::deque<JobPtr> queue_;
   bool busy_ = false;
   int32_t trace_track_ = -1;  // lazily registered; -1 = not yet
-  // Gang scheduling by hoarding: claims held per incomplete job.
-  std::unordered_map<JobId, std::vector<TaskClaim>> hoards_;
+  // Gang scheduling by hoarding: claims held per incomplete job. Ordered
+  // by JobId so HoardedResources() sums in a deterministic order (the
+  // floating-point total feeds reported metrics; see det-unordered-iter
+  // in DESIGN.md §9).
+  std::map<JobId, std::vector<TaskClaim>> hoards_;
 };
 
 // The centralized resource allocator. Decision time is modeled as 1 ms (§4.2:
@@ -150,4 +152,3 @@ class MesosSimulation final : public ClusterSimulation {
 
 }  // namespace omega
 
-#endif  // OMEGA_SRC_MESOS_MESOS_SIMULATION_H_

@@ -1,6 +1,5 @@
 // Resource offers (two-level scheduling, §3.3).
-#ifndef OMEGA_SRC_MESOS_OFFER_H_
-#define OMEGA_SRC_MESOS_OFFER_H_
+#pragma once
 
 #include <vector>
 
@@ -35,4 +34,3 @@ struct ResourceOffer {
 
 }  // namespace omega
 
-#endif  // OMEGA_SRC_MESOS_OFFER_H_

@@ -9,8 +9,7 @@
 // counters, and — when a TraceRecorder was attached — a summary of the event
 // stream. ToJson renders the whole thing as a single JSON object so runs can
 // be diffed, archived, and consumed by scripts without scraping stdout.
-#ifndef OMEGA_SRC_OBS_RUN_REPORT_H_
-#define OMEGA_SRC_OBS_RUN_REPORT_H_
+#pragma once
 
 #include <cstdint>
 #include <iosfwd>
@@ -18,7 +17,7 @@
 #include <utility>
 #include <vector>
 
-#include "src/obs/trace_recorder.h"
+#include "src/trace/trace_recorder.h"
 #include "src/omega/audit.h"
 #include "src/scheduler/cluster_simulation.h"
 #include "src/scheduler/metrics.h"
@@ -117,4 +116,3 @@ RunReport BuildRunReport(const std::string& architecture, OmegaSimulation& sim,
 
 }  // namespace omega
 
-#endif  // OMEGA_SRC_OBS_RUN_REPORT_H_

@@ -6,8 +6,7 @@
 // the need for checks in a scheduler's critical code path". This module is
 // that audit: after (or during) a run it summarizes each scheduler's behavior
 // and flags violations of the configured limits and of the shared SLO.
-#ifndef OMEGA_SRC_OMEGA_AUDIT_H_
-#define OMEGA_SRC_OMEGA_AUDIT_H_
+#pragma once
 
 #include <iosfwd>
 #include <string>
@@ -65,4 +64,3 @@ AuditReport AuditSchedulers(const std::vector<const QueueScheduler*>& schedulers
 
 }  // namespace omega
 
-#endif  // OMEGA_SRC_OMEGA_AUDIT_H_

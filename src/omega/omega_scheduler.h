@@ -10,8 +10,7 @@
 // changes); all-or-nothing commits implement gang scheduling. Conflict
 // detection is fine-grained (re-check fit) or coarse-grained (per-machine
 // sequence numbers), per §5.2.
-#ifndef OMEGA_SRC_OMEGA_OMEGA_SCHEDULER_H_
-#define OMEGA_SRC_OMEGA_OMEGA_SCHEDULER_H_
+#pragma once
 
 #include <functional>
 #include <memory>
@@ -76,4 +75,3 @@ class OmegaSimulation : public ClusterSimulation {
 
 }  // namespace omega
 
-#endif  // OMEGA_SRC_OMEGA_OMEGA_SCHEDULER_H_

@@ -3,8 +3,7 @@
 //
 // Architecture-specific simulations (monolithic, two-level/Mesos, shared-
 // state/Omega) subclass this and route submitted jobs to their schedulers.
-#ifndef OMEGA_SRC_SCHEDULER_CLUSTER_SIMULATION_H_
-#define OMEGA_SRC_SCHEDULER_CLUSTER_SIMULATION_H_
+#pragma once
 
 #include <functional>
 #include <memory>
@@ -14,7 +13,7 @@
 #include "src/cluster/cell_state.h"
 #include "src/cluster/task_registry.h"
 #include "src/common/random.h"
-#include "src/obs/trace_recorder.h"
+#include "src/trace/trace_recorder.h"
 #include "src/scheduler/config.h"
 #include "src/sim/simulator.h"
 #include "src/workload/generator.h"
@@ -151,4 +150,3 @@ class ClusterSimulation {
 
 }  // namespace omega
 
-#endif  // OMEGA_SRC_SCHEDULER_CLUSTER_SIMULATION_H_

@@ -1,6 +1,5 @@
 // Scheduler and simulation configuration.
-#ifndef OMEGA_SRC_SCHEDULER_CONFIG_H_
-#define OMEGA_SRC_SCHEDULER_CONFIG_H_
+#pragma once
 
 #include <cstdint>
 #include <optional>
@@ -96,4 +95,3 @@ struct SimOptions {
 
 }  // namespace omega
 
-#endif  // OMEGA_SRC_SCHEDULER_CONFIG_H_

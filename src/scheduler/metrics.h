@@ -8,8 +8,7 @@
 //    deviation error bars;
 //  - conflict fraction: conflicts per successfully scheduled job (a value of
 //    3 means the average job needed four scheduling attempts).
-#ifndef OMEGA_SRC_SCHEDULER_METRICS_H_
-#define OMEGA_SRC_SCHEDULER_METRICS_H_
+#pragma once
 
 #include <cstdint>
 #include <vector>
@@ -132,4 +131,3 @@ class SchedulerMetrics {
 
 }  // namespace omega
 
-#endif  // OMEGA_SRC_SCHEDULER_METRICS_H_

@@ -5,8 +5,7 @@
 // the same code runs for every job type); the multi-path configuration gives
 // batch jobs a fast path but still schedules one job at a time, so
 // head-of-line blocking persists.
-#ifndef OMEGA_SRC_SCHEDULER_MONOLITHIC_H_
-#define OMEGA_SRC_SCHEDULER_MONOLITHIC_H_
+#pragma once
 
 #include <memory>
 
@@ -53,4 +52,3 @@ class MonolithicSimulation final : public ClusterSimulation {
 
 }  // namespace omega
 
-#endif  // OMEGA_SRC_SCHEDULER_MONOLITHIC_H_

@@ -7,8 +7,7 @@
 // The paper dismisses this design because fixed partitions fragment the
 // cluster: one partition can be full while the other idles — visible here as
 // abandonment/backlog in the loaded partition despite cluster-wide headroom.
-#ifndef OMEGA_SRC_SCHEDULER_PARTITIONED_H_
-#define OMEGA_SRC_SCHEDULER_PARTITIONED_H_
+#pragma once
 
 #include <memory>
 
@@ -45,4 +44,3 @@ class PartitionedSimulation final : public ClusterSimulation {
 
 }  // namespace omega
 
-#endif  // OMEGA_SRC_SCHEDULER_PARTITIONED_H_

@@ -3,8 +3,7 @@
 // The lightweight simulator uses randomized first fit (Table 2); the
 // high-fidelity simulator plugs in a constraint-aware scoring algorithm via
 // the same interface (src/hifi/scoring_placer.h).
-#ifndef OMEGA_SRC_SCHEDULER_PLACEMENT_H_
-#define OMEGA_SRC_SCHEDULER_PLACEMENT_H_
+#pragma once
 
 #include <unordered_map>
 #include <vector>
@@ -84,4 +83,3 @@ class PendingClaims {
 
 }  // namespace omega
 
-#endif  // OMEGA_SRC_SCHEDULER_PLACEMENT_H_

@@ -5,8 +5,7 @@
 // and commit protocol; the base class owns the queue, busy-state machine,
 // retry/abandonment policy and metric accounting shared by the monolithic and
 // shared-state schedulers.
-#ifndef OMEGA_SRC_SCHEDULER_QUEUE_SCHEDULER_H_
-#define OMEGA_SRC_SCHEDULER_QUEUE_SCHEDULER_H_
+#pragma once
 
 #include <deque>
 #include <string>
@@ -83,4 +82,3 @@ class QueueScheduler {
 
 }  // namespace omega
 
-#endif  // OMEGA_SRC_SCHEDULER_QUEUE_SCHEDULER_H_

@@ -3,8 +3,7 @@
 //
 // Ties on the timestamp are broken by insertion order, which makes simulation
 // runs fully deterministic.
-#ifndef OMEGA_SRC_SIM_EVENT_QUEUE_H_
-#define OMEGA_SRC_SIM_EVENT_QUEUE_H_
+#pragma once
 
 #include <cstdint>
 #include <functional>
@@ -102,4 +101,3 @@ class EventQueue {
 
 }  // namespace omega
 
-#endif  // OMEGA_SRC_SIM_EVENT_QUEUE_H_

@@ -5,8 +5,7 @@
 // top of it. Scheduler "parallelism" is modeled logically: each scheduler has
 // its own busy interval, so concurrent decision-making costs no wall-clock
 // serialization yet produces exactly the interleavings the paper studies.
-#ifndef OMEGA_SRC_SIM_SIMULATOR_H_
-#define OMEGA_SRC_SIM_SIMULATOR_H_
+#pragma once
 
 #include <functional>
 
@@ -48,4 +47,3 @@ class Simulator {
 
 }  // namespace omega
 
-#endif  // OMEGA_SRC_SIM_SIMULATOR_H_

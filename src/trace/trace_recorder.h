@@ -18,8 +18,7 @@
 // Two exporters cover the two consumption modes: Chrome trace-event JSON
 // (open in Perfetto / about:tracing; one track per scheduler, attempts as
 // duration slices) and JSON-lines (one event per line, for scripts).
-#ifndef OMEGA_SRC_OBS_TRACE_RECORDER_H_
-#define OMEGA_SRC_OBS_TRACE_RECORDER_H_
+#pragma once
 
 #include <array>
 #include <cstdint>
@@ -156,4 +155,3 @@ class TraceRecorder {
 
 }  // namespace omega
 
-#endif  // OMEGA_SRC_OBS_TRACE_RECORDER_H_

@@ -5,8 +5,7 @@
 // inter-arrival time and tasks-per-job. Runtime contributions are capped at
 // the observation window, exactly as the paper's 30-day trace window caps
 // them ("where the lines do not meet 1.0, some of the jobs ran for longer").
-#ifndef OMEGA_SRC_WORKLOAD_CHARACTERIZATION_H_
-#define OMEGA_SRC_WORKLOAD_CHARACTERIZATION_H_
+#pragma once
 
 #include <vector>
 
@@ -53,4 +52,3 @@ WorkloadCharacterization Characterize(const std::vector<Job>& jobs,
 
 }  // namespace omega
 
-#endif  // OMEGA_SRC_WORKLOAD_CHARACTERIZATION_H_

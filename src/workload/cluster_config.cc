@@ -49,6 +49,11 @@ WorkloadParams ServiceParams(double interarrival_secs) {
   return p;
 }
 
+// Assigning a short string literal straight into a freshly constructed
+// std::string trips a GCC 12 -Wrestrict false positive at -O2 and above
+// (GCC PR105651); routing the copy through an explicit temporary does not.
+std::string CopyName(const char* name) { return std::string(name); }
+
 }  // namespace
 
 // Arrival rates are calibrated so that (a) default batch-scheduler busyness
@@ -58,7 +63,7 @@ WorkloadParams ServiceParams(double interarrival_secs) {
 
 ClusterConfig ClusterA() {
   ClusterConfig c;
-  c.name = "A";
+  c.name = CopyName("A");
   c.num_machines = 4000;
   c.machine_capacity = Resources{4.0, 16.0};
   c.batch = BatchParams(0.38);
@@ -68,7 +73,7 @@ ClusterConfig ClusterA() {
 
 ClusterConfig ClusterB() {
   ClusterConfig c;
-  c.name = "B";
+  c.name = CopyName("B");
   c.num_machines = 12000;
   c.machine_capacity = Resources{4.0, 16.0};
   c.batch = BatchParams(0.90);
@@ -78,7 +83,7 @@ ClusterConfig ClusterB() {
 
 ClusterConfig ClusterC() {
   ClusterConfig c;
-  c.name = "C";
+  c.name = CopyName("C");
   c.num_machines = 12500;
   c.machine_capacity = Resources{4.0, 16.0};
   c.batch = BatchParams(1.43);
@@ -88,7 +93,7 @@ ClusterConfig ClusterC() {
 
 ClusterConfig ClusterD() {
   ClusterConfig c;
-  c.name = "D";
+  c.name = CopyName("D");
   c.num_machines = 3000;
   c.machine_capacity = Resources{4.0, 16.0};
   c.batch = BatchParams(10.0);
@@ -150,7 +155,7 @@ std::vector<Resources> BuildMachineCapacities(const ClusterConfig& config) {
 
 ClusterConfig TestCluster(uint32_t num_machines) {
   ClusterConfig c;
-  c.name = "test";
+  c.name = CopyName("test");
   c.num_machines = num_machines;
   c.machine_capacity = Resources{4.0, 16.0};
   c.machines_per_failure_domain = 4;

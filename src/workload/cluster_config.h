@@ -8,8 +8,7 @@
 // thousands (Figures 2-4). Cluster A is a busy medium cluster, B one of the
 // largest, C the publicly traced cluster, and D a small lightly loaded cluster
 // about a quarter of C's size (§6.2).
-#ifndef OMEGA_SRC_WORKLOAD_CLUSTER_CONFIG_H_
-#define OMEGA_SRC_WORKLOAD_CLUSTER_CONFIG_H_
+#pragma once
 
 #include <memory>
 #include <string>
@@ -85,4 +84,3 @@ std::vector<Resources> BuildMachineCapacities(const ClusterConfig& config);
 
 }  // namespace omega
 
-#endif  // OMEGA_SRC_WORKLOAD_CLUSTER_CONFIG_H_

@@ -4,8 +4,7 @@
 // generator also produces the initial cell-state fill (~60% utilization) and,
 // for the high-fidelity experiments, placement constraints and MapReduce
 // specs.
-#ifndef OMEGA_SRC_WORKLOAD_GENERATOR_H_
-#define OMEGA_SRC_WORKLOAD_GENERATOR_H_
+#pragma once
 
 #include <vector>
 
@@ -90,4 +89,3 @@ std::vector<std::vector<int32_t>> GenerateMachineAttributes(
 
 }  // namespace omega
 
-#endif  // OMEGA_SRC_WORKLOAD_GENERATOR_H_

@@ -4,8 +4,7 @@
 // *service* jobs and *batch* jobs. Tasks within a job have identical resource
 // requirements (the common case in the traces, which also justifies the linear
 // decision-time model t_decision = t_job + t_task * tasks).
-#ifndef OMEGA_SRC_WORKLOAD_JOB_H_
-#define OMEGA_SRC_WORKLOAD_JOB_H_
+#pragma once
 
 #include <cstdint>
 #include <optional>
@@ -95,4 +94,3 @@ struct Job {
 
 }  // namespace omega
 
-#endif  // OMEGA_SRC_WORKLOAD_JOB_H_

@@ -11,8 +11,7 @@
 //   job <id> <type> <submit_us> <num_tasks> <duration_us> <cpus> <mem_gb>
 //   constraint <job_id> <key> <value> <eq|ne>
 //   mapreduce <job_id> <maps> <reduces> <map_dur_us> <reduce_dur_us> <workers>
-#ifndef OMEGA_SRC_WORKLOAD_TRACE_H_
-#define OMEGA_SRC_WORKLOAD_TRACE_H_
+#pragma once
 
 #include <iosfwd>
 #include <string>
@@ -38,4 +37,3 @@ bool ReadTraceFile(const std::string& path, std::vector<Job>* jobs,
 
 }  // namespace omega
 
-#endif  // OMEGA_SRC_WORKLOAD_TRACE_H_

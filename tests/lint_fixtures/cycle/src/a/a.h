@@ -1,0 +1,9 @@
+#pragma once
+
+#include "src/b/b.h"
+
+namespace fixture {
+struct A {
+  int b_count = 0;
+};
+}  // namespace fixture

@@ -1,0 +1,9 @@
+#pragma once
+
+#include "src/a/a.h"
+
+namespace fixture {
+struct B {
+  int a_count = 0;
+};
+}  // namespace fixture

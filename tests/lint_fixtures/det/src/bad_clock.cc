@@ -1,0 +1,11 @@
+// Positive fixture: wall-clock reads the det-wallclock rule bans.
+#include <chrono>
+#include <ctime>
+
+long WallClockEverywhere() {
+  long total = static_cast<long>(time(nullptr));
+  total += std::chrono::system_clock::now().time_since_epoch().count();
+  total += std::chrono::high_resolution_clock::now().time_since_epoch().count();
+  total += clock();
+  return total;
+}

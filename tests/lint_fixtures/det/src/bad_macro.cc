@@ -1,0 +1,4 @@
+// Positive fixture: build-time macros the det-time-macro rule bans.
+// (One per line: same-line findings of the same rule dedupe to one.)
+const char* BuildDate() { return __DATE__; }
+const char* BuildTime() { return __TIME__; }

@@ -1,0 +1,9 @@
+// Positive fixture: every entropy-reading API the det-rand rule bans.
+#include <cstdlib>
+#include <random>
+
+int EntropyEverywhere() {
+  std::random_device rd;
+  srand(rd());
+  return rand();
+}

@@ -1,0 +1,17 @@
+// Negative fixture: things that look close to banned APIs but are fine.
+// A comment mentioning rand() or __DATE__ must not trip the scanner.
+#include <chrono>
+#include <string>
+
+struct Sampler {
+  double time(int t) { return t * 2.0; }  // member named `time` is fine
+  double my_rand() { return 0.5; }        // prefixed identifier is fine
+};
+
+double CleanTiming(Sampler& s) {
+  const auto t0 = std::chrono::steady_clock::now();  // steady_clock allowed
+  const std::string note = "calls rand() and time() at __TIME__";  // string
+  double total = s.time(3) + s.my_rand() + static_cast<double>(note.size());
+  const auto t1 = std::chrono::steady_clock::now();
+  return total + std::chrono::duration<double>(t1 - t0).count();
+}

@@ -1,0 +1,8 @@
+// Fixture mirror of the one blessed entropy wrapper: src/common/random.* is
+// exempt from the determinism rules, so this rand() must not be flagged.
+#pragma once
+#include <cstdlib>
+
+namespace fixture {
+inline int BlessedEntropy() { return rand(); }
+}  // namespace fixture

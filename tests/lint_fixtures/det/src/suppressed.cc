@@ -1,0 +1,10 @@
+// Fixture: both suppression forms silence a real finding.
+#include <cstdlib>
+#include <random>
+
+int SuppressedEntropy() {
+  int total = rand();  // omega-lint: allow(det-rand)
+  // omega-lint: allow(det-rand) -- previous-line form
+  std::random_device rd;
+  return total + static_cast<int>(rd());
+}

@@ -1,0 +1,5 @@
+// Positive fixture: the banned-API rules apply to tests too — a test that
+// reads ambient entropy is flaky by construction.
+#include <cstdlib>
+
+int FlakyTestHelper() { return rand(); }

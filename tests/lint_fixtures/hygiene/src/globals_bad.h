@@ -1,0 +1,10 @@
+// Positive fixture: mutable namespace-scope variables in a header.
+#pragma once
+
+namespace fixture {
+
+inline int g_counter = 0;
+
+static double g_scale_factor;
+
+}  // namespace fixture

@@ -1,0 +1,36 @@
+// Negative fixture: everything here is legal header content — constants,
+// declarations, classes with mutable members, inline functions with locals.
+#pragma once
+
+#include <string>
+
+namespace fixture {
+
+inline constexpr int kAnswer = 42;
+constexpr double kScale = 2.5;
+const char* LookupName(int id);
+
+class Widget {
+ public:
+  void Tick() {
+    int local_state = 0;  // function-local mutable state is fine
+    ++local_state;
+    count_ += local_state;
+  }
+
+ private:
+  int count_ = 0;  // mutable class member is fine
+  std::string name_;
+};
+
+enum class Mode : int {
+  kIdle = 0,
+  kBusy = 1,
+};
+
+inline int Twice(int x) {
+  int doubled = x * 2;
+  return doubled;
+}
+
+}  // namespace fixture

@@ -1,0 +1,9 @@
+// Positive fixture: a classic include guard is not #pragma once.
+#ifndef FIXTURE_NO_PRAGMA_H_
+#define FIXTURE_NO_PRAGMA_H_
+
+namespace fixture {
+constexpr int kGuarded = 1;
+}  // namespace fixture
+
+#endif  // FIXTURE_NO_PRAGMA_H_

@@ -1,0 +1,10 @@
+// Positive fixture: `using namespace` at header scope.
+#pragma once
+
+#include <string>
+
+using namespace std;
+
+namespace fixture {
+inline string Greeting() { return "hi"; }
+}  // namespace fixture

@@ -1,0 +1,7 @@
+// Negative fixture: `using namespace` in a .cc file is allowed (the rule is
+// about header scope leaking into every includer).
+#include <string>
+
+using namespace std;
+
+string FixtureGreeting() { return "hi"; }

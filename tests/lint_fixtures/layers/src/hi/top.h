@@ -1,0 +1,8 @@
+// Negative fixture: a downward include (hi -> lo) is legal.
+#pragma once
+
+#include "src/lo/base.h"
+
+namespace fixture {
+constexpr int kTop = kBase + 1;
+}  // namespace fixture

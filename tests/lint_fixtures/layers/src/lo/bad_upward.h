@@ -1,0 +1,9 @@
+// Positive fixture: the seeded upward include — a rank-0 file reaching into
+// rank 1 must be rejected by layer-order.
+#pragma once
+
+#include "src/hi/top.h"
+
+namespace fixture {
+constexpr int kUpward = kTop + 1;
+}  // namespace fixture

@@ -1,0 +1,5 @@
+#pragma once
+
+namespace fixture {
+constexpr int kBase = 1;
+}  // namespace fixture

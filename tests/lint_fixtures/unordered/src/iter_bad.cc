@@ -1,0 +1,28 @@
+// Positive fixture: every iteration form the det-unordered-iter rule flags.
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+using Hoards = std::unordered_map<uint64_t, std::vector<int>>;
+
+struct Framework {
+  Hoards hoards_;
+  std::unordered_set<int32_t> domains_;
+};
+
+double SumEverything(Framework& fw) {
+  double total = 0.0;
+  for (const auto& [id, claims] : fw.hoards_) {  // range-for over alias-typed
+    total += static_cast<double>(id) + static_cast<double>(claims.size());
+  }
+  for (auto it = fw.domains_.begin(); it != fw.domains_.end(); ++it) {
+    total += *it;  // explicit iterator loop
+  }
+  std::unordered_map<std::string, double> local_weights;
+  for (const auto& [name, weight] : local_weights) {  // local declaration
+    total += weight + static_cast<double>(name.size());
+  }
+  return total;
+}

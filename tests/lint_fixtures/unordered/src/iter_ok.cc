@@ -1,0 +1,23 @@
+// Negative fixture: unordered containers used without iterating, and
+// iteration over ordered containers.
+#include <cstdint>
+#include <map>
+#include <unordered_map>
+#include <vector>
+
+double LookupsOnly() {
+  std::unordered_map<uint64_t, double> pending;
+  pending.reserve(16);
+  pending[7] = 1.5;
+  double total = pending.count(7) ? pending.at(7) : 0.0;
+
+  std::map<uint64_t, double> ordered = {{1, 2.0}, {3, 4.0}};
+  for (const auto& [key, value] : ordered) {  // ordered: deterministic
+    total += static_cast<double>(key) + value;
+  }
+  std::vector<double> values = {1.0, 2.0};
+  for (double v : values) {
+    total += v;
+  }
+  return total;
+}

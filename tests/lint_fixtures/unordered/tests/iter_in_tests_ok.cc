@@ -1,0 +1,11 @@
+// Negative fixture: det-unordered-iter is scoped to src/ — a test may
+// iterate an unordered container to assert set-equality.
+#include <unordered_set>
+
+int CountAll(const std::unordered_set<int>& seen_values) {
+  int n = 0;
+  for (int v : seen_values) {
+    n += v;
+  }
+  return n;
+}

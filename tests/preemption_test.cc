@@ -1,7 +1,7 @@
 #include <gtest/gtest.h>
 
 #include "src/cluster/task_registry.h"
-#include "src/obs/trace_recorder.h"
+#include "src/trace/trace_recorder.h"
 #include "src/omega/omega_scheduler.h"
 #include "src/workload/cluster_config.h"
 

@@ -8,7 +8,7 @@
 
 #include "src/hifi/hifi_simulation.h"
 #include "src/mesos/mesos_simulation.h"
-#include "src/obs/trace_recorder.h"
+#include "src/trace/trace_recorder.h"
 #include "src/omega/omega_scheduler.h"
 #include "src/scheduler/monolithic.h"
 #include "src/workload/cluster_config.h"

@@ -1,4 +1,4 @@
-#include "src/obs/trace_recorder.h"
+#include "src/trace/trace_recorder.h"
 
 #include <gtest/gtest.h>
 

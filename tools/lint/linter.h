@@ -1,0 +1,160 @@
+// omega_lint: project-specific static analysis for determinism, layering,
+// and header hygiene.
+//
+// The reproduction's headline claim is bit-identical determinism (the figure
+// sweeps produce the same bytes for any thread count), and its architecture
+// depends on a strict layer order (obs above the four scheduler
+// architectures, which sit above sim/cluster/common). Neither property is
+// visible to the compiler: one `rand()` call, one range-for over a
+// `std::unordered_map` feeding ordered output, or one upward `#include`
+// silently breaks them. This linter makes those invariants machine-checked.
+//
+// It is a lightweight tokenizer/scanner (no libclang): comments and string
+// literals are stripped, identifiers are matched exactly, declarations of
+// unordered containers are tracked by name, and `#include` edges are checked
+// against a declared layer DAG. Findings are suppressible with an inline
+// `// omega-lint: allow(<rule>)` comment (same line or the line above) or via
+// a checked-in baseline file; any un-baselined finding fails the build.
+//
+// Rule catalogue (see DESIGN.md §9 for rationale):
+//   det-rand              rand()/srand()/std::random_device/...
+//   det-wallclock         time()/clock()/system_clock/high_resolution_clock
+//   det-time-macro        __DATE__/__TIME__/__TIMESTAMP__
+//   det-unordered-iter    iteration over std::unordered_{map,set,...}
+//   layer-order           #include pointing to a higher-ranked layer
+//   layer-cycle           cycle in the project #include graph
+//   hygiene-pragma-once   header without #pragma once
+//   hygiene-using-namespace  `using namespace` at header scope
+//   hygiene-nonconst-global  mutable namespace-scope variable in a header
+#pragma once
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace omega_lint {
+
+// Every rule ID the linter can emit, for --list-rules and the test suite.
+const std::vector<std::string>& AllRuleIds();
+
+struct Finding {
+  std::string file;  // path relative to the scan root, '/'-separated
+  int line = 0;      // 1-based
+  std::string rule;
+  std::string message;
+
+  // Stable identity used by the baseline file: "<file>:<line>:<rule>".
+  std::string Key() const;
+};
+
+struct Layer {
+  std::string name;
+  int rank = 0;
+  std::string prefix;  // root-relative directory prefix, e.g. "src/common/"
+};
+
+struct Config {
+  // The declared layer DAG. An include edge from layer A to layer B is legal
+  // iff rank(B) <= rank(A); equal ranks express "peer" subsystems (the four
+  // scheduler architectures), and the cycle check keeps peers honest.
+  std::vector<Layer> layers;
+
+  // Directories (relative to root) walked by Run().
+  std::vector<std::string> scan_dirs = {"src", "tools", "bench", "examples",
+                                        "tests"};
+  // Any path containing one of these substrings is skipped (lint fixtures
+  // contain violations on purpose).
+  std::vector<std::string> exclude_substrings = {"tests/lint_fixtures/"};
+
+  // Scope of the determinism banned-API rules (det-rand, det-wallclock,
+  // det-time-macro): everywhere, including tests — a test that reads ambient
+  // entropy or wall time is flaky by construction. Timing of *real* work
+  // uses steady_clock, which is not banned.
+  std::vector<std::string> det_scope = {"src/", "bench/", "examples/",
+                                        "tools/", "tests/"};
+  // Scope of det-unordered-iter: simulator code only. Tests may iterate
+  // unordered containers to assert set-equality.
+  std::vector<std::string> unordered_iter_scope = {"src/"};
+  // Files exempt from all determinism rules: the one blessed entropy wrapper.
+  std::vector<std::string> det_exempt_files = {"src/common/random.h",
+                                               "src/common/random.cc"};
+};
+
+// Parses a layers.conf file into config->layers. Format, one layer per line:
+//   layer <name> <rank> <path-prefix>
+// '#' starts a comment; blank lines are ignored. Returns false and sets
+// *error on malformed input.
+bool ParseLayersFile(const std::string& path, Config* config,
+                     std::string* error);
+
+class Linter {
+ public:
+  Linter(std::string root, Config config);
+
+  // Walks config.scan_dirs under root, lints every *.h/*.cc file, and runs
+  // the whole-tree passes (unordered-declaration registry, include-cycle
+  // detection). Returns false if a scan dir cannot be read.
+  bool Run();
+
+  // Findings sorted by (file, line, rule); deterministic across runs.
+  const std::vector<Finding>& findings() const { return findings_; }
+
+  // IO errors encountered while scanning (unreadable file, bad root).
+  const std::vector<std::string>& errors() const { return errors_; }
+
+ private:
+  struct FileData {
+    std::string rel_path;
+    // Original text with comments blanked, strings preserved (for #include
+    // parsing).
+    std::string code;
+    // As above, but with string literals blanked too (for token scanning).
+    std::string code_nostrings;
+    // Line -> rules allowed by an `omega-lint: allow(...)` comment on it.
+    std::map<int, std::set<std::string>> suppressions;
+    std::vector<size_t> line_offsets;  // offset of each line start
+  };
+
+  void LoadFile(const std::string& rel_path, const std::string& content);
+  void CollectUnorderedDecls(const FileData& f);
+  void LintFile(const FileData& f);
+  void CheckBannedIdentifiers(const FileData& f);
+  void CheckUnorderedIteration(const FileData& f);
+  void CheckHeaderHygiene(const FileData& f);
+  void CheckNonConstGlobals(const FileData& f);
+  void CheckLayerOrder(const FileData& f);
+  void CheckIncludeCycles();
+  void Finish();  // whole-tree passes + sort/suppress
+
+  void AddFinding(const FileData& f, int line, const std::string& rule,
+                  const std::string& message);
+  const Layer* LayerFor(const std::string& rel_path) const;
+  bool InScope(const std::string& rel_path,
+               const std::vector<std::string>& prefixes) const;
+  bool DetExempt(const std::string& rel_path) const;
+
+  std::string root_;
+  Config config_;
+  std::map<std::string, FileData> files_;  // rel_path -> data (sorted)
+  // Identifiers declared anywhere in unordered_iter_scope with an unordered
+  // container type (variable and member names, plus alias-typed variables).
+  std::set<std::string> unordered_vars_;
+  // Type-alias names bound to unordered containers (`using X = ...`).
+  std::set<std::string> unordered_types_;
+  // rel_path -> (line, included rel_path) for project-local includes.
+  std::map<std::string, std::vector<std::pair<int, std::string>>> includes_;
+  std::vector<Finding> findings_;
+  std::vector<std::string> errors_;
+};
+
+// Baseline file: one Finding::Key() per line; '#' comments and blank lines
+// ignored. A missing file is an empty baseline.
+std::set<std::string> LoadBaseline(const std::string& path);
+bool WriteBaseline(const std::string& path, const std::vector<Finding>& all);
+
+// Findings whose Key() is not in the baseline.
+std::vector<Finding> FilterBaselined(const std::vector<Finding>& all,
+                                     const std::set<std::string>& baseline);
+
+}  // namespace omega_lint

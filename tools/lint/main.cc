@@ -1,0 +1,123 @@
+// CLI driver for omega_lint. See linter.h for the rule catalogue and
+// DESIGN.md §9 for the policy. Exit codes: 0 clean, 1 un-baselined findings,
+// 2 usage or IO error.
+#include <cstring>
+#include <filesystem>
+#include <iostream>
+#include <string>
+
+#include "tools/lint/linter.h"
+
+namespace {
+
+void Usage(std::ostream& os) {
+  os << "usage: omega_lint [--root DIR] [--layers FILE] [--baseline FILE]\n"
+        "                  [--write-baseline] [--list-rules]\n"
+        "\n"
+        "Scans src/, tools/, bench/, examples/, tests/ under --root (default\n"
+        "'.') for determinism, layering, and header-hygiene violations.\n"
+        "  --root DIR        repository root to scan\n"
+        "  --layers FILE     layer DAG config (default ROOT/tools/lint/\n"
+        "                    layers.conf)\n"
+        "  --baseline FILE   accepted-findings file (default ROOT/tools/\n"
+        "                    lint/baseline.txt)\n"
+        "  --write-baseline  rewrite the baseline to the current findings\n"
+        "  --list-rules      print every rule ID and exit\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string root = ".";
+  std::string layers_path;
+  std::string baseline_path;
+  bool write_baseline = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value = [&](const char* flag) -> std::string {
+      if (i + 1 >= argc) {
+        std::cerr << "omega_lint: " << flag << " requires a value\n";
+        exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--root") {
+      root = value("--root");
+    } else if (arg == "--layers") {
+      layers_path = value("--layers");
+    } else if (arg == "--baseline") {
+      baseline_path = value("--baseline");
+    } else if (arg == "--write-baseline") {
+      write_baseline = true;
+    } else if (arg == "--list-rules") {
+      for (const std::string& id : omega_lint::AllRuleIds()) {
+        std::cout << id << "\n";
+      }
+      return 0;
+    } else if (arg == "--help" || arg == "-h") {
+      Usage(std::cout);
+      return 0;
+    } else {
+      std::cerr << "omega_lint: unknown argument '" << arg << "'\n";
+      Usage(std::cerr);
+      return 2;
+    }
+  }
+
+  namespace fs = std::filesystem;
+  if (layers_path.empty()) {
+    layers_path = (fs::path(root) / "tools/lint/layers.conf").string();
+  }
+  if (baseline_path.empty()) {
+    baseline_path = (fs::path(root) / "tools/lint/baseline.txt").string();
+  }
+
+  omega_lint::Config config;
+  std::string error;
+  if (fs::exists(layers_path)) {
+    if (!omega_lint::ParseLayersFile(layers_path, &config, &error)) {
+      std::cerr << "omega_lint: " << error << "\n";
+      return 2;
+    }
+  } else {
+    std::cerr << "omega_lint: warning: no layers config at " << layers_path
+              << "; layering rules disabled\n";
+  }
+
+  omega_lint::Linter linter(root, config);
+  const bool ok = linter.Run();
+  for (const std::string& err : linter.errors()) {
+    std::cerr << "omega_lint: " << err << "\n";
+  }
+  if (!ok) {
+    return 2;
+  }
+
+  if (write_baseline) {
+    if (!omega_lint::WriteBaseline(baseline_path, linter.findings())) {
+      std::cerr << "omega_lint: cannot write baseline " << baseline_path
+                << "\n";
+      return 2;
+    }
+    std::cout << "omega_lint: wrote " << linter.findings().size()
+              << " finding(s) to " << baseline_path << "\n";
+    return 0;
+  }
+
+  const auto baseline = omega_lint::LoadBaseline(baseline_path);
+  const auto fresh = omega_lint::FilterBaselined(linter.findings(), baseline);
+  for (const auto& finding : fresh) {
+    std::cout << finding.file << ":" << finding.line << ": [" << finding.rule
+              << "] " << finding.message << "\n";
+  }
+  const size_t baselined = linter.findings().size() - fresh.size();
+  if (fresh.empty()) {
+    std::cout << "omega_lint: clean (" << baselined << " baselined)\n";
+    return 0;
+  }
+  std::cout << "omega_lint: " << fresh.size() << " finding(s) (" << baselined
+            << " baselined). Fix them, add an inline\n"
+            << "`// omega-lint: allow(<rule>)`, or (last resort) re-run with "
+               "--write-baseline.\n";
+  return 1;
+}
