@@ -282,6 +282,103 @@ void BM_PlacerAtUtilization(benchmark::State& state) {
 }
 BENCHMARK(BM_PlacerAtUtilization)->Arg(50)->Arg(85)->Arg(95)->Arg(99)->Arg(100);
 
+// Fills a cell to roughly `percent` CPU utilization with task-sized
+// allocations (random first fit, mirroring BM_PlacerAtUtilization's fill).
+// Machines below `reserve` are left empty so the benchmark body always has
+// room to stack a transaction — at 99% utilization random fill can leave no
+// machine with several free slots, and a rejection-sampling pick would spin.
+void FillToUtilization(CellState& cell, int64_t percent, uint64_t seed,
+                       uint32_t reserve) {
+  Rng fill(seed);
+  const double target = static_cast<double>(percent) / 100.0;
+  const uint32_t fillable = cell.NumMachines() - reserve;
+  while (cell.CpuUtilization() < target) {
+    const auto m =
+        static_cast<MachineId>(reserve + fill.NextBounded(fillable));
+    if (cell.CanFit(m, kTask)) {
+      cell.Allocate(m, kTask);
+    }
+  }
+}
+
+// Commit with per-machine claim grouping (cohort batching) vs. the per-claim
+// reference path, on a transaction whose claims stack several tasks onto each
+// machine — the shape StartTasks produces for multi-task jobs. Grouping does
+// one seqnum/block-summary update per machine instead of per claim; results
+// are bit-identical (DESIGN.md §10). Arg is percent CPU utilization.
+void CommitGroupingBenchmark(benchmark::State& state, bool grouped) {
+  constexpr uint32_t kMachines = 10000;
+  constexpr int kTasksPerMachine = 4;
+  constexpr int kMachinesPerTxn = 4;
+  CellState cell(kMachines, kMachine);
+  cell.SetBatchedCommit(grouped);
+  FillToUtilization(cell, state.range(0), 11, kMachinesPerTxn);
+  std::vector<TaskClaim> claims;
+  for (auto _ : state) {
+    state.PauseTiming();
+    claims.clear();
+    // The reserved (empty) machines always fit the stack, so every claim is
+    // accepted and the undo below frees exactly what was committed.
+    for (MachineId m = 0; m < kMachinesPerTxn; ++m) {
+      for (int t = 0; t < kTasksPerMachine; ++t) {
+        claims.push_back(TaskClaim{m, kTask, cell.machine(m).seqnum});
+      }
+    }
+    state.ResumeTiming();
+    const CommitResult r = cell.Commit(claims, ConflictMode::kFineGrained,
+                                       CommitMode::kIncremental);
+    benchmark::DoNotOptimize(r);
+    state.PauseTiming();
+    for (const TaskClaim& c : claims) {
+      cell.Free(c.machine, c.resources);
+    }
+    state.ResumeTiming();
+  }
+  state.SetItemsProcessed(state.iterations() * claims.size());
+}
+
+void BM_CommitGrouped(benchmark::State& state) {
+  CommitGroupingBenchmark(state, /*grouped=*/true);
+}
+BENCHMARK(BM_CommitGrouped)->Arg(50)->Arg(85)->Arg(95)->Arg(99);
+
+void BM_CommitPerClaim(benchmark::State& state) {
+  CommitGroupingBenchmark(state, /*grouped=*/false);
+}
+BENCHMARK(BM_CommitPerClaim)->Arg(50)->Arg(85)->Arg(95)->Arg(99);
+
+// Cohort end-of-life free — one FreeBatch per machine — vs. the per-task
+// free loop it replaces. Arg is percent CPU utilization of the cell; the
+// batch frees `kCohort` tasks stacked on one machine.
+void CohortFreeBenchmark(benchmark::State& state, bool batched) {
+  constexpr uint32_t kMachines = 10000;
+  constexpr uint32_t kCohort = 8;
+  CellState cell(kMachines, kMachine);
+  FillToUtilization(cell, state.range(0), 11, /*reserve=*/1);
+  for (auto _ : state) {
+    const MachineId m = 0;  // reserved empty machine: the cohort always fits
+    cell.AllocateBatch(m, kTask, kCohort);
+    if (batched) {
+      cell.FreeBatch(m, kTask, kCohort);
+    } else {
+      for (uint32_t i = 0; i < kCohort; ++i) {
+        cell.Free(m, kTask);
+      }
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * kCohort);
+}
+
+void BM_CohortFree(benchmark::State& state) {
+  CohortFreeBenchmark(state, /*batched=*/true);
+}
+BENCHMARK(BM_CohortFree)->Arg(50)->Arg(85)->Arg(95)->Arg(99);
+
+void BM_PerTaskFree(benchmark::State& state) {
+  CohortFreeBenchmark(state, /*batched=*/false);
+}
+BENCHMARK(BM_PerTaskFree)->Arg(50)->Arg(85)->Arg(95)->Arg(99);
+
 void BM_SimulatorThroughput(benchmark::State& state) {
   for (auto _ : state) {
     Simulator sim;

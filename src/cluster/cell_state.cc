@@ -2,7 +2,6 @@
 
 #include <algorithm>
 #include <cmath>
-#include <unordered_map>
 
 #include "src/common/logging.h"
 
@@ -119,6 +118,66 @@ void CellState::Free(MachineId id, const Resources& request_ref) {
   if (HasAvailabilityIndex()) {
     IndexUpdate(id, old_bucket);
   }
+}
+
+void CellState::AllocateBatch(MachineId id, const Resources& per_task,
+                              uint32_t count) {
+  if (count == 0) {
+    return;
+  }
+  if (HasAvailabilityIndex()) {
+    // Bucket transitions are order-sensitive (swap-remove permutes bucket
+    // lists, and VisitByAvailability exposes that order), so replay the exact
+    // per-task sequence instead of batching.
+    for (uint32_t i = 0; i < count; ++i) {
+      Allocate(id, per_task);
+    }
+    return;
+  }
+  const Resources request = per_task;  // see Allocate: aliasing hazard
+  Machine& m = machines_[id];
+  // Replay the per-task additions (FP addition is not associative, and the
+  // per-task path is the reference), but check capacity once at the end —
+  // sound because allocation only grows across the batch — and fold the
+  // seqnum and block-summary maintenance into one step each.
+  for (uint32_t i = 0; i < count; ++i) {
+    m.allocated += request;
+    total_allocated_ += request;
+  }
+  OMEGA_CHECK(m.allocated.FitsIn(m.capacity))
+      << "overcommit on machine " << id << ": allocated=" << m.allocated
+      << " batch=" << request << " x" << count << " capacity=" << m.capacity;
+  m.seqnum += count;
+  BlockAfterShrink(id);
+}
+
+void CellState::FreeBatch(MachineId id, const Resources& per_task,
+                          uint32_t count) {
+  if (count == 0) {
+    return;
+  }
+  if (HasAvailabilityIndex()) {
+    for (uint32_t i = 0; i < count; ++i) {  // see AllocateBatch
+      Free(id, per_task);
+    }
+    return;
+  }
+  const Resources request = per_task;  // see Allocate: aliasing hazard
+  Machine& m = machines_[id];
+  // The per-task clamps are part of the reference arithmetic (a clamp midway
+  // through the batch changes the values every later step sees), so they
+  // stay in the loop; only seqnum and summary maintenance are batched.
+  for (uint32_t i = 0; i < count; ++i) {
+    m.allocated -= request;
+    OMEGA_CHECK(!m.allocated.IsNegative())
+        << "negative allocation on machine " << id << " after freeing "
+        << request;
+    m.allocated = m.allocated.ClampNonNegative();
+    total_allocated_ -= request;
+    total_allocated_ = total_allocated_.ClampNonNegative();
+  }
+  m.seqnum += count;
+  BlockAfterGrow(id);
 }
 
 void CellState::EnableAvailabilityIndex(uint32_t num_buckets) {
@@ -240,23 +299,38 @@ CommitResult CellState::Commit(std::span<const TaskClaim> claims,
 
   // Phase 1: decide acceptance per claim against the current state, tracking
   // pending same-transaction allocations so intra-transaction claims stack
-  // correctly and never count as conflicts against each other.
-  std::vector<char> accept(claims.size(), 0);
-  std::unordered_map<MachineId, Resources> pending;
-  pending.reserve(claims.size());
+  // correctly and never count as conflicts against each other. The pending
+  // sums live in a dense epoch-stamped per-machine scratch (see the member
+  // comment); the arithmetic is the same per-claim accumulation as before.
+  accept_scratch_.assign(claims.size(), 0);
+  std::vector<char>& accept = accept_scratch_;
+  if (pending_stamp_.size() != machines_.size()) {
+    pending_stamp_.assign(machines_.size(), 0u);
+    pending_amount_.resize(machines_.size());
+    pending_epoch_ = 0;
+  }
+  if (++pending_epoch_ == 0) {  // epoch wrapped: stale stamps could collide
+    std::fill(pending_stamp_.begin(), pending_stamp_.end(), 0u);
+    pending_epoch_ = 1;
+  }
+  const uint32_t epoch = pending_epoch_;
+  auto pending_on = [&](MachineId id) {
+    return pending_stamp_[id] == epoch ? pending_amount_[id]
+                                       : Resources::Zero();
+  };
 
+  bool uniform_resources = true;
   for (size_t i = 0; i < claims.size(); ++i) {
     const TaskClaim& claim = claims[i];
+    uniform_resources = uniform_resources && claim.resources == claims[0].resources;
     const Machine& m = machines_[claim.machine];
     bool ok = false;
     switch (conflict_mode) {
       case ConflictMode::kFineGrained: {
         // Conflict only if the claim no longer fits given what has been
         // committed since placement (plus pending claims from this txn).
-        auto it = pending.find(claim.machine);
-        const Resources extra =
-            it != pending.end() ? it->second : Resources::Zero();
-        ok = CanFitWithPending(claim.machine, claim.resources, extra);
+        ok = CanFitWithPending(claim.machine, claim.resources,
+                               pending_on(claim.machine));
         break;
       }
       case ConflictMode::kCoarseGrained: {
@@ -268,17 +342,19 @@ CommitResult CellState::Commit(std::span<const TaskClaim> claims,
           // Unchanged machine: the placement was computed against exactly this
           // state, so the claim must still fit (pending claims included, since
           // the scheduler placed them against its local copy too).
-          auto it = pending.find(claim.machine);
-          const Resources extra =
-              it != pending.end() ? it->second : Resources::Zero();
-          ok = CanFitWithPending(claim.machine, claim.resources, extra);
+          ok = CanFitWithPending(claim.machine, claim.resources,
+                                 pending_on(claim.machine));
         }
         break;
       }
     }
     accept[i] = ok ? 1 : 0;
     if (ok) {
-      pending[claim.machine] += claim.resources;
+      if (pending_stamp_[claim.machine] != epoch) {
+        pending_stamp_[claim.machine] = epoch;
+        pending_amount_[claim.machine] = Resources::Zero();
+      }
+      pending_amount_[claim.machine] += claim.resources;
     }
   }
 
@@ -303,15 +379,50 @@ CommitResult CellState::Commit(std::span<const TaskClaim> claims,
     return result;
   }
 
-  // Phase 3: apply accepted claims atomically.
-  for (size_t i = 0; i < claims.size(); ++i) {
-    if (accept[i] != 0) {
-      Allocate(claims[i].machine, claims[i].resources);
-      ++result.accepted;
-    } else {
-      ++result.conflicted;
-      if (rejected != nullptr) {
-        rejected->push_back(claims[i]);
+  // Phase 3: apply accepted claims atomically. When every claim carries the
+  // same resources (the workload model's §2.1 cohort property) the accepted
+  // set is applied grouped per machine — one batched mutation per distinct
+  // machine instead of one Allocate per claim. Grouping reorders the
+  // application across machines, which is state-identical here because
+  // identical per-task resources make the floating-point sums order-free
+  // (DESIGN.md §10); the availability index is order-sensitive, so it keeps
+  // the per-claim path.
+  const bool grouped =
+      batched_commit_ && uniform_resources && !HasAvailabilityIndex();
+  if (grouped) {
+    commit_scratch_.clear();
+    for (size_t i = 0; i < claims.size(); ++i) {
+      if (accept[i] != 0) {
+        commit_scratch_.push_back(claims[i].machine);
+        ++result.accepted;
+      } else {
+        ++result.conflicted;
+        if (rejected != nullptr) {
+          rejected->push_back(claims[i]);
+        }
+      }
+    }
+    std::sort(commit_scratch_.begin(), commit_scratch_.end());
+    for (size_t i = 0; i < commit_scratch_.size();) {
+      size_t j = i + 1;
+      while (j < commit_scratch_.size() &&
+             commit_scratch_[j] == commit_scratch_[i]) {
+        ++j;
+      }
+      AllocateBatch(commit_scratch_[i], claims[0].resources,
+                    static_cast<uint32_t>(j - i));
+      i = j;
+    }
+  } else {
+    for (size_t i = 0; i < claims.size(); ++i) {
+      if (accept[i] != 0) {
+        Allocate(claims[i].machine, claims[i].resources);
+        ++result.accepted;
+      } else {
+        ++result.conflicted;
+        if (rejected != nullptr) {
+          rejected->push_back(claims[i]);
+        }
       }
     }
   }

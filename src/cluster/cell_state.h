@@ -107,6 +107,19 @@ class CellState {
   void Allocate(MachineId id, const Resources& request);
   void Free(MachineId id, const Resources& request);
 
+  // Applies `count` identical allocations (frees) on machine `id` as one
+  // batched mutation: the floating-point arithmetic is replayed per task so
+  // the resulting state is bit-identical to `count` single calls, but the
+  // sequence number advances once by `+count`, the capacity check runs once
+  // (sound: allocation grows monotonically across the batch), and the block
+  // summary is maintained once per batch instead of per task. With the
+  // availability index enabled, bucket-list order is observable through
+  // VisitByAvailability, so both fall back to the per-task sequence — state
+  // stays bit-identical there too, just without the batching win. See
+  // DESIGN.md §10.
+  void AllocateBatch(MachineId id, const Resources& per_task, uint32_t count);
+  void FreeBatch(MachineId id, const Resources& per_task, uint32_t count);
+
   // Atomically commits a set of claims placed against an earlier snapshot.
   // Accepted claims are allocated; conflicting claims (per `conflict_mode`,
   // `commit_mode`) are reported in `rejected` if non-null. Claims within one
@@ -124,6 +137,15 @@ class CellState {
   void SetCommitObserver(CommitObserver observer) {
     commit_observer_ = std::move(observer);
   }
+
+  // When enabled (the default), Commit applies accepted claims grouped per
+  // machine — one AllocateBatch per distinct machine — whenever every claim
+  // in the transaction carries identical resources (the §2.1 cohort property
+  // the workload model guarantees) and no availability index is attached.
+  // Bit-identical to the per-claim path (DESIGN.md §10); the toggle exists so
+  // tests can compare the grouped path against the per-claim reference.
+  void SetBatchedCommit(bool on) { batched_commit_ = on; }
+  bool batched_commit() const { return batched_commit_; }
 
   Resources TotalCapacity() const { return total_capacity_; }
   Resources TotalAllocated() const { return total_allocated_; }
@@ -239,6 +261,16 @@ class CellState {
   mutable std::vector<uint8_t> block_dirty_;
 
   CommitObserver commit_observer_;
+  bool batched_commit_ = true;
+  // Commit scratch, reused across transactions: the per-machine grouping
+  // list, the per-claim accept flags, and the pending same-transaction sums
+  // as a dense epoch-stamped per-machine array (an array read per claim
+  // instead of a hash lookup; a new transaction is an O(1) epoch bump).
+  std::vector<MachineId> commit_scratch_;
+  std::vector<char> accept_scratch_;
+  std::vector<Resources> pending_amount_;
+  std::vector<uint32_t> pending_stamp_;
+  uint32_t pending_epoch_ = 0;
 
   // Availability index state (empty when disabled).
   std::vector<std::vector<MachineId>> buckets_;

@@ -4,45 +4,73 @@
 
 namespace omega {
 
+uint32_t TaskRegistry::SlotOf(uint64_t task_id) const {
+  auto it = slot_of_.find(task_id);
+  return it == slot_of_.end() ? kNoSlot : it->second;
+}
+
 uint64_t TaskRegistry::Add(MachineId machine, const Resources& resources,
-                           int32_t precedence, uint64_t end_event) {
+                           int32_t precedence, uint64_t end_event,
+                           uint64_t cohort) {
   const uint64_t id = next_id_++;
-  tasks_.emplace(id, RunningTask{id, machine, resources, precedence, end_event});
-  by_machine_[machine].push_back(id);
+  uint32_t slot;
+  if (free_head_ != kNoSlot) {
+    slot = free_head_;
+    free_head_ = slots_[slot].next_free;
+  } else {
+    slot = static_cast<uint32_t>(slots_.size());
+    slots_.emplace_back();
+  }
+  Slot& s = slots_[slot];
+  s.task = RunningTask{id, machine, resources, precedence, end_event, cohort};
+  s.live = true;
+  s.next_free = kNoSlot;
+  if (machine >= by_machine_.size()) {
+    by_machine_.resize(machine + 1);
+  }
+  s.pos_on_machine = static_cast<uint32_t>(by_machine_[machine].size());
+  by_machine_[machine].push_back(slot);
+  slot_of_.emplace(id, slot);
+  ++num_running_;
   return id;
 }
 
 bool TaskRegistry::Remove(uint64_t task_id) {
-  auto it = tasks_.find(task_id);
-  if (it == tasks_.end()) {
+  auto it = slot_of_.find(task_id);
+  if (it == slot_of_.end()) {
     return false;
   }
-  auto& list = by_machine_[it->second.machine];
-  auto pos = std::find(list.begin(), list.end(), task_id);
-  if (pos != list.end()) {
-    *pos = list.back();
-    list.pop_back();
-  }
-  tasks_.erase(it);
+  const uint32_t slot = it->second;
+  Slot& s = slots_[slot];
+  std::vector<uint32_t>& list = by_machine_[s.task.machine];
+  const uint32_t pos = s.pos_on_machine;
+  const uint32_t moved = list.back();
+  list[pos] = moved;
+  slots_[moved].pos_on_machine = pos;
+  list.pop_back();
+  s.live = false;
+  s.next_free = free_head_;
+  free_head_ = slot;
+  slot_of_.erase(it);
+  --num_running_;
   return true;
 }
 
 void TaskRegistry::SetEndEvent(uint64_t task_id, uint64_t end_event) {
-  auto it = tasks_.find(task_id);
-  if (it != tasks_.end()) {
-    it->second.end_event = end_event;
+  const uint32_t slot = SlotOf(task_id);
+  if (slot != kNoSlot) {
+    slots_[slot].task.end_event = end_event;
   }
 }
 
 Resources TaskRegistry::PreemptibleOn(MachineId machine,
                                       int32_t precedence) const {
   Resources total;
-  auto it = by_machine_.find(machine);
-  if (it == by_machine_.end()) {
+  if (machine >= by_machine_.size()) {
     return total;
   }
-  for (uint64_t id : it->second) {
-    const RunningTask& task = tasks_.at(id);
+  for (const uint32_t slot : by_machine_[machine]) {
+    const RunningTask& task = slots_[slot].task;
     if (task.precedence < precedence) {
       total += task.resources;
     }
@@ -53,13 +81,12 @@ Resources TaskRegistry::PreemptibleOn(MachineId machine,
 std::vector<RunningTask> TaskRegistry::SelectVictims(MachineId machine,
                                                      int32_t precedence,
                                                      const Resources& needed) const {
-  std::vector<RunningTask> candidates;
-  auto it = by_machine_.find(machine);
-  if (it == by_machine_.end()) {
+  if (machine >= by_machine_.size()) {
     return {};
   }
-  for (uint64_t id : it->second) {
-    const RunningTask& task = tasks_.at(id);
+  std::vector<RunningTask> candidates;
+  for (const uint32_t slot : by_machine_[machine]) {
+    const RunningTask& task = slots_[slot].task;
     if (task.precedence < precedence) {
       candidates.push_back(task);
     }
@@ -89,19 +116,17 @@ std::vector<RunningTask> TaskRegistry::SelectVictims(MachineId machine,
 }
 
 size_t TaskRegistry::NumRunningOn(MachineId machine) const {
-  auto it = by_machine_.find(machine);
-  return it == by_machine_.end() ? 0 : it->second.size();
+  return machine < by_machine_.size() ? by_machine_[machine].size() : 0;
 }
 
 std::vector<RunningTask> TaskRegistry::TasksOn(MachineId machine) const {
   std::vector<RunningTask> out;
-  auto it = by_machine_.find(machine);
-  if (it == by_machine_.end()) {
+  if (machine >= by_machine_.size()) {
     return out;
   }
-  out.reserve(it->second.size());
-  for (uint64_t id : it->second) {
-    out.push_back(tasks_.at(id));
+  out.reserve(by_machine_[machine].size());
+  for (const uint32_t slot : by_machine_[machine]) {
+    out.push_back(slots_[slot].task);
   }
   return out;
 }

@@ -7,6 +7,13 @@
 // which tasks run where; this registry tracks them when preemption is enabled
 // (the simulations leave it off by default, like the paper's high-fidelity
 // simulator, because it makes little difference and costs memory).
+//
+// Storage is a slab of task slots with an explicit free list plus a dense
+// per-machine index of slot positions, so the hot preemption- and
+// failure-path queries (PreemptibleOn, SelectVictims, TasksOn) are
+// O(tasks on the machine) with no hashing, and Remove is O(1) via a
+// position backpointer. Task ids stay small sequential integers (they appear
+// in preemption trace records), resolved through one id->slot hash lookup.
 #pragma once
 
 #include <cstdint>
@@ -25,15 +32,20 @@ struct RunningTask {
   // Precedence: the common scale for the relative importance of work all
   // schedulers must agree on (§3.4). Higher preempts lower.
   int32_t precedence = 0;
-  // Opaque handle the harness uses to cancel the task's end event.
+  // Opaque handle the harness uses to cancel the task's end event. Zero for
+  // cohort members, whose end event is shared (see `cohort`).
   uint64_t end_event = 0;
+  // Cohort membership (DESIGN.md §10): non-zero when the task's end is
+  // batched into a shared cohort event; evicting it must go through
+  // CohortStore::RemoveMember instead of cancelling `end_event`.
+  uint64_t cohort = 0;
 };
 
 class TaskRegistry {
  public:
   // Registers a running task; returns its id.
   uint64_t Add(MachineId machine, const Resources& resources, int32_t precedence,
-               uint64_t end_event);
+               uint64_t end_event, uint64_t cohort = 0);
 
   // Removes a task (normal completion). Returns false if unknown.
   bool Remove(uint64_t task_id);
@@ -52,17 +64,37 @@ class TaskRegistry {
   std::vector<RunningTask> SelectVictims(MachineId machine, int32_t precedence,
                                          const Resources& needed) const;
 
-  size_t NumRunning() const { return tasks_.size(); }
+  size_t NumRunning() const { return num_running_; }
   size_t NumRunningOn(MachineId machine) const;
 
   // Snapshot of the tasks running on `machine` (machine failures kill them).
   std::vector<RunningTask> TasksOn(MachineId machine) const;
 
  private:
-  std::unordered_map<uint64_t, RunningTask> tasks_;
-  std::unordered_map<MachineId, std::vector<uint64_t>> by_machine_;
+  static constexpr uint32_t kNoSlot = ~0u;
+
+  struct Slot {
+    RunningTask task;
+    // Position of this slot in by_machine_[task.machine] while live; makes
+    // Remove's swap-remove O(1) instead of a linear scan.
+    uint32_t pos_on_machine = 0;
+    uint32_t next_free = kNoSlot;
+    bool live = false;
+  };
+
+  // Slot of a live task id, or kNoSlot.
+  uint32_t SlotOf(uint64_t task_id) const;
+
+  std::vector<Slot> slots_;
+  std::unordered_map<uint64_t, uint32_t> slot_of_;
+  // Per machine, the slots of the tasks running there (resized on demand).
+  // List order evolves exactly like the previous implementation: append on
+  // Add, swap-with-back on Remove — SelectVictims' sort is not stable, so the
+  // candidate order feeds observable victim choice.
+  std::vector<std::vector<uint32_t>> by_machine_;
+  uint32_t free_head_ = kNoSlot;
   uint64_t next_id_ = 1;
+  size_t num_running_ = 0;
 };
 
 }  // namespace omega
-

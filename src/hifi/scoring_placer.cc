@@ -14,7 +14,8 @@ uint32_t ScoringPlacer::PlaceTasks(const CellState& cell, const Job& job,
   if (num_machines == 0 || count == 0) {
     return 0;
   }
-  PendingClaims pending;
+  PendingClaims& pending = pending_scratch_;
+  pending.Reset(cell.NumMachines());
   std::unordered_set<int32_t> domains_used;
   uint32_t placed = 0;
 

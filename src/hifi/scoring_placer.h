@@ -36,6 +36,7 @@ class ScoringPlacer final : public TaskPlacer {
 
  private:
   ScoringPlacerOptions options_;
+  PendingClaims pending_scratch_;
 };
 
 }  // namespace omega

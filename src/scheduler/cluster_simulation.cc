@@ -1,5 +1,7 @@
 #include "src/scheduler/cluster_simulation.h"
 
+#include <algorithm>
+
 #include "src/common/logging.h"
 #include "src/scheduler/placement.h"
 
@@ -21,6 +23,9 @@ ClusterSimulation::ClusterSimulation(const ClusterConfig& config,
                  }(),
                  options.seed),
       rng_(options.seed ^ 0xabcdef1234567890ULL) {
+  // One flag drives both halves of cohort batching: grouped commit
+  // application in the cell and the shared-end-event lifecycle here.
+  cell_.SetBatchedCommit(options.cohort_batching);
   if (generator_options.generate_constraints) {
     MachineAttributeAssignment assignment;
     assignment.num_attribute_keys = generator_options.num_attribute_keys;
@@ -184,7 +189,7 @@ void ClusterSimulation::FailMachine(MachineId machine) {
   // failures "only generate a small load on the scheduler").
   int64_t killed_here = 0;
   for (const RunningTask& task : registry_.TasksOn(machine)) {
-    sim_.Cancel(task.end_event);
+    CancelTaskEnd(task);
     registry_.Remove(task.task_id);
     cell_.Free(task.machine, task.resources);
     ++tasks_killed_by_failures_;
@@ -242,6 +247,103 @@ void ClusterSimulation::RunTrace(std::vector<Job> trace) {
 void ClusterSimulation::StartTasks(const Job& job,
                                    std::span<const TaskClaim> claims,
                                    std::function<void(const TaskClaim&)> on_task_end) {
+  if (claims.empty()) {
+    return;
+  }
+  if (!options_.cohort_batching) {
+    StartTasksPerTask(job, claims, std::move(on_task_end));
+    return;
+  }
+  const JobId job_id = job.id;
+  const SimTime end = sim_.Now() + job.task_duration;
+  const CohortStore::CohortId cohort =
+      cohorts_.Create(job_id, job.task_resources, std::move(on_task_end));
+  Cohort& c = cohorts_.Get(cohort);
+  c.member_claims.assign(claims.begin(), claims.end());
+  if (options_.track_running_tasks) {
+    c.member_tasks.reserve(claims.size());
+  }
+  for (const TaskClaim& claim : claims) {
+    // FinishCohort frees (task_resources, count) per machine; a claim that
+    // deviated from the job's uniform task shape would corrupt the cell.
+    OMEGA_CHECK(claim.resources == job.task_resources)
+        << "claim resources diverge from the job's task shape";
+    if (trace_ != nullptr) {
+      trace_->TaskStart(sim_.Now(), job_id, claim.machine);
+    }
+    if (options_.track_running_tasks) {
+      c.member_tasks.push_back(registry_.Add(claim.machine, claim.resources,
+                                             job.precedence, 0, cohort));
+    }
+  }
+  c.end_event = sim_.ScheduleAt(end, [this, cohort] { FinishCohort(cohort); });
+}
+
+void ClusterSimulation::FinishCohort(CohortStore::CohortId cohort_id) {
+  // Take (move out + release) rather than reference: the member callbacks
+  // below may start new cohorts, and slab growth would invalidate references.
+  const Cohort c = cohorts_.Take(cohort_id);
+  const SimTime now = sim_.Now();
+  const size_t n = c.member_claims.size();
+  for (size_t i = 0; i < n; ++i) {
+    const TaskClaim& claim = c.member_claims[i];
+    if (c.on_task_end != nullptr) {
+      c.on_task_end(claim);
+    }
+    if (trace_ != nullptr) {
+      trace_->TaskEnd(now, c.job, claim.machine);
+    }
+    if (!c.member_tasks.empty()) {
+      registry_.Remove(c.member_tasks[i]);
+    }
+  }
+  if (cell_.HasAvailabilityIndex()) {
+    // Bucket-list permutations are order-sensitive; replay per-task frees in
+    // claim order (the cohort still saved n-1 heap events).
+    for (const TaskClaim& claim : c.member_claims) {
+      cell_.Free(claim.machine, claim.resources);
+    }
+  } else {
+    // One batched free per distinct machine. Sorting reorders frees across
+    // machines, which is state-identical because members share per-task
+    // resources (DESIGN.md §10).
+    cohort_scratch_.clear();
+    for (const TaskClaim& claim : c.member_claims) {
+      cohort_scratch_.push_back(claim.machine);
+    }
+    std::sort(cohort_scratch_.begin(), cohort_scratch_.end());
+    for (size_t i = 0; i < cohort_scratch_.size();) {
+      size_t j = i + 1;
+      while (j < cohort_scratch_.size() &&
+             cohort_scratch_[j] == cohort_scratch_[i]) {
+        ++j;
+      }
+      cell_.FreeBatch(cohort_scratch_[i], c.task_resources,
+                      static_cast<uint32_t>(j - i));
+      i = j;
+    }
+  }
+  for (size_t i = 0; i < n; ++i) {
+    OnTaskFreed();
+  }
+}
+
+void ClusterSimulation::CancelTaskEnd(const RunningTask& task) {
+  if (task.cohort != CohortStore::kNoCohort) {
+    // Partial cancel: shrink the cohort's pending free; the shared end event
+    // is cancelled only when the last member is evicted.
+    const EventId shared = cohorts_.RemoveMember(task.cohort, task.task_id);
+    if (shared != kInvalidEventId) {
+      sim_.Cancel(shared);
+    }
+  } else {
+    sim_.Cancel(task.end_event);
+  }
+}
+
+void ClusterSimulation::StartTasksPerTask(
+    const Job& job, std::span<const TaskClaim> claims,
+    std::function<void(const TaskClaim&)> on_task_end) {
   // The trace-disabled closures below are kept byte-identical to the
   // untraced build: the extra job-id capture would grow every task-end
   // closure and measurably slow the event loop, so the instrumented variants
@@ -334,7 +436,7 @@ MachineId ClusterSimulation::PreemptAndPlace(const Job& job, Rng& rng,
       return false;
     }
     for (const RunningTask& victim : victims) {
-      sim_.Cancel(victim.end_event);
+      CancelTaskEnd(victim);
       registry_.Remove(victim.task_id);
       cell_.Free(victim.machine, victim.resources);
       ++tasks_preempted_;

@@ -14,6 +14,7 @@
 #include "src/cluster/task_registry.h"
 #include "src/common/random.h"
 #include "src/trace/trace_recorder.h"
+#include "src/scheduler/cohort_store.h"
 #include "src/scheduler/config.h"
 #include "src/sim/simulator.h"
 #include "src/workload/generator.h"
@@ -56,10 +57,15 @@ class ClusterSimulation {
   const SimOptions& options() const { return options_; }
   SimTime EndTime() const { return SimTime::Zero() + options_.horizon; }
 
-  // Allocations already committed: starts the per-task end timers that free
-  // resources when tasks finish. `on_task_end` (optional) runs before the
+  // Allocations already committed: starts the end timers that free resources
+  // when tasks finish. `on_task_end` (optional) runs per task before its
   // resources are freed (Mesos uses it to update allocator bookkeeping; the
-  // MapReduce scheduler to track job completion).
+  // MapReduce scheduler to track job completion). With cohort batching
+  // (SimOptions::cohort_batching, the default) the whole batch shares one
+  // end event — all claims come from one commit of one job, so they share a
+  // start time, duration, and per-task resources — and the end-time frees
+  // are applied per machine as (resources, count) batches; results are
+  // bit-identical to the per-task path (DESIGN.md §10).
   void StartTasks(const Job& job, std::span<const TaskClaim> claims,
                   std::function<void(const TaskClaim&)> on_task_end = nullptr);
 
@@ -116,13 +122,27 @@ class ClusterSimulation {
   // The Mesos allocator uses it to re-offer newly available resources.
   virtual void OnTaskFreed() {}
 
+  // Kills every running task on `machine` and reserves its capacity until
+  // repair. Protected so test harnesses can inject deterministic failures.
+  void FailMachine(MachineId machine);
+
  private:
   void PlaceInitialFill();
   void ScheduleNextArrival(JobType type);
   void ScheduleUtilizationSample();
   void CountSubmission(JobType type);
   void ScheduleNextMachineFailure();
-  void FailMachine(MachineId machine);
+
+  // Reference per-task lifecycle path (cohort_batching off); kept so the
+  // differential tests can compare the batched path against it.
+  void StartTasksPerTask(const Job& job, std::span<const TaskClaim> claims,
+                         std::function<void(const TaskClaim&)> on_task_end);
+  // Fires a cohort's shared end event: per-member callback/trace/registry
+  // work in claim order, then per-machine batched frees.
+  void FinishCohort(CohortStore::CohortId cohort_id);
+  // Cancels a running task's pending end: its private event, or its cohort
+  // membership (cancelling the shared event only when the cohort empties).
+  void CancelTaskEnd(const RunningTask& task);
 
   ClusterConfig config_;
   SimOptions options_;
@@ -136,6 +156,9 @@ class ClusterSimulation {
   std::vector<UtilizationSample> utilization_series_;
 
   TaskRegistry registry_;
+  CohortStore cohorts_;
+  // Scratch for FinishCohort's per-machine grouping, reused across cohorts.
+  std::vector<MachineId> cohort_scratch_;
   int64_t tasks_preempted_ = 0;
   TraceRecorder* trace_ = nullptr;
 

@@ -1,0 +1,95 @@
+// Cohorts: batched task lifecycles for a placement batch (DESIGN.md §10).
+//
+// The workload model guarantees that all tasks of a job are identical (§2.1),
+// so every task started by one StartTasks call — one committed placement
+// batch — shares a start time, a duration, and per-task resources. A cohort
+// coalesces those tasks into a single end event that frees their resources
+// with per-machine batched mutations, instead of one heap event, closure and
+// CellState::Free per task. Machine failures and preemption can still kill
+// individual members: RemoveMember shrinks the cohort's pending free (the
+// caller frees the victim's resources immediately, as before), and only when
+// the last member is gone does the shared end event get cancelled.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "src/cluster/cell_state.h"
+#include "src/common/logging.h"
+#include "src/sim/event_queue.h"
+#include "src/workload/job.h"
+
+namespace omega {
+
+// One placement batch's worth of running tasks sharing an end time.
+struct Cohort {
+  JobId job = 0;
+  // Per-task resources, identical across members (§2.1); the end-time frees
+  // aggregate per machine as (resources, count).
+  Resources task_resources;
+  EventId end_event = kInvalidEventId;
+  // Runs per member, in claim order, before the member's resources are freed
+  // (Mesos allocator bookkeeping, MapReduce job completion).
+  std::function<void(const TaskClaim&)> on_task_end;
+  // Members in claim order. Claims keep per-member machines (and resources,
+  // for the availability-index fallback); member_tasks holds the parallel
+  // TaskRegistry ids and is empty when the registry is off.
+  std::vector<TaskClaim> member_claims;
+  std::vector<uint64_t> member_tasks;
+};
+
+// Slab of live cohorts with generation-tagged ids (same recycling scheme as
+// the event queue): id 0 is reserved as "no cohort" so RunningTask::cohort
+// can use 0 as its null value.
+class CohortStore {
+ public:
+  using CohortId = uint64_t;
+  static constexpr CohortId kNoCohort = 0;
+
+  // Creates an empty cohort; members are added as claims are started.
+  CohortId Create(JobId job, const Resources& task_resources,
+                  std::function<void(const TaskClaim&)> on_task_end);
+
+  Cohort& Get(CohortId id) {
+    const uint32_t slot = CheckedSlot(id);
+    return slots_[slot].cohort;
+  }
+
+  // Moves the cohort out and releases its slot (end-event fire path). Taking
+  // rather than referencing keeps the fire loop safe against callbacks that
+  // create new cohorts (slab growth would invalidate references).
+  Cohort Take(CohortId id);
+
+  // Evicts one member (machine failure or preemption); the caller has already
+  // freed the victim's resources. Returns the cohort's end event when the
+  // last member was removed — the caller cancels it and the cohort is
+  // released — and kInvalidEventId otherwise.
+  EventId RemoveMember(CohortId id, uint64_t task_id);
+
+  size_t LiveCount() const { return live_; }
+
+ private:
+  struct Slot {
+    Cohort cohort;
+    uint32_t generation = 0;
+    uint32_t next_free = kNoSlot;
+    bool live = false;
+  };
+  static constexpr uint32_t kNoSlot = ~0u;
+
+  uint32_t CheckedSlot(CohortId id) const {
+    const uint32_t slot = static_cast<uint32_t>(id & 0xffffffffu) - 1;
+    OMEGA_CHECK(slot < slots_.size() && slots_[slot].live &&
+                slots_[slot].generation == static_cast<uint32_t>(id >> 32))
+        << "stale or invalid cohort id " << id;
+    return slot;
+  }
+  void ReleaseSlot(uint32_t slot);
+
+  std::vector<Slot> slots_;
+  uint32_t free_head_ = kNoSlot;
+  size_t live_ = 0;
+};
+
+}  // namespace omega

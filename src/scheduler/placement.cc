@@ -30,7 +30,8 @@ uint32_t RandomizedFirstFitPlacer::PlaceTasks(const CellState& cell, const Job& 
   if (num_machines == 0 || count == 0) {
     return 0;
   }
-  PendingClaims pending;
+  PendingClaims& pending = pending_scratch_;
+  pending.Reset(cell.NumMachines());
   uint32_t placed = 0;
   for (uint32_t t = 0; t < count; ++t) {
     MachineId chosen = kInvalidMachineId;

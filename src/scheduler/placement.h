@@ -5,7 +5,7 @@
 // the same interface (src/hifi/scoring_placer.h).
 #pragma once
 
-#include <unordered_map>
+#include <algorithm>
 #include <vector>
 
 #include "src/cluster/cell_state.h"
@@ -44,6 +44,52 @@ struct MachineRange {
   MachineId Nth(uint32_t i) const { return begin + i; }
 };
 
+// Helper shared by placers: tracks pending same-transaction claims per
+// machine so stacked placements see each other. Storage is a dense
+// epoch-stamped per-machine array: On() — called once per placement probe,
+// the placer hot path — is an array read instead of a hash lookup, and
+// Reset() starts a new transaction in O(1) by bumping the epoch. Placers
+// hold one as persistent scratch across calls; a default-constructed
+// instance works standalone (the arrays grow on demand).
+class PendingClaims {
+ public:
+  // Starts a new transaction, forgetting all pending claims.
+  void Reset(uint32_t num_machines) {
+    ++epoch_;
+    if (epoch_ == 0) {  // epoch wrapped: stale stamps could collide
+      std::fill(stamp_.begin(), stamp_.end(), 0u);
+      epoch_ = 1;
+    }
+    if (stamp_.size() < num_machines) {
+      stamp_.resize(num_machines, 0u);
+      amount_.resize(num_machines);
+    }
+  }
+
+  void Add(MachineId machine, const Resources& res) {
+    if (machine >= stamp_.size()) {
+      stamp_.resize(machine + 1, 0u);
+      amount_.resize(machine + 1);
+    }
+    if (stamp_[machine] != epoch_) {
+      stamp_[machine] = epoch_;
+      amount_[machine] = Resources::Zero();
+    }
+    amount_[machine] += res;
+  }
+
+  Resources On(MachineId machine) const {
+    return machine < stamp_.size() && stamp_[machine] == epoch_
+               ? amount_[machine]
+               : Resources::Zero();
+  }
+
+ private:
+  std::vector<Resources> amount_;
+  std::vector<uint32_t> stamp_;
+  uint32_t epoch_ = 1;
+};
+
 // Randomized first fit: probe machines uniformly at random; fall back to a
 // linear scan from a random offset so that a fit is found whenever one exists.
 // Ignores placement constraints (lightweight simulator semantics, Table 2).
@@ -64,21 +110,7 @@ class RandomizedFirstFitPlacer final : public TaskPlacer {
   uint32_t max_random_probes_;
   bool respect_constraints_;
   MachineRange range_;
-};
-
-// Helper shared by placers: tracks pending same-transaction claims per
-// machine so stacked placements see each other.
-class PendingClaims {
- public:
-  void Add(MachineId machine, const Resources& res) { pending_[machine] += res; }
-
-  Resources On(MachineId machine) const {
-    auto it = pending_.find(machine);
-    return it != pending_.end() ? it->second : Resources::Zero();
-  }
-
- private:
-  std::unordered_map<MachineId, Resources> pending_;
+  PendingClaims pending_scratch_;
 };
 
 }  // namespace omega
