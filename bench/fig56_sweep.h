@@ -32,10 +32,14 @@ struct SweepResult {
 };
 
 // `tjob_points` sets the t_job grid resolution (7 reproduces the figures; the
-// determinism test uses a coarser grid to stay fast).
+// determinism test uses a coarser grid to stay fast). `base_options` seeds
+// every trial's SimOptions (horizon and seed are overwritten per trial) — the
+// SoA differential test uses it to re-run the grid with soa_cell off.
 inline std::vector<SweepResult> RunFig56Sweep(const Duration horizon,
                                               SweepRunner& runner,
-                                              int tjob_points = 7) {
+                                              int tjob_points = 7,
+                                              const SimOptions& base_options =
+                                                  SimOptions{}) {
   struct Point {
     const char* arch;
     const char* cluster;
@@ -52,7 +56,7 @@ inline std::vector<SweepResult> RunFig56Sweep(const Duration horizon,
   runner.report().AddMetric("sim_days", horizon.ToDays());
   return runner.Run(points.size(), [&](const TrialContext& ctx) {
     const Point& p = points[ctx.index];
-    SimOptions opts;
+    SimOptions opts = base_options;
     opts.horizon = horizon;
     opts.seed = ctx.seed;
     const ClusterConfig cfg = ClusterByName(p.cluster);

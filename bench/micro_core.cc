@@ -282,6 +282,57 @@ void BM_PlacerAtUtilization(benchmark::State& state) {
 }
 BENCHMARK(BM_PlacerAtUtilization)->Arg(50)->Arg(85)->Arg(95)->Arg(99)->Arg(100);
 
+// SoA vs. AoS no-fit scan at mega-cell scale (100k machines). With
+// max_random_probes=0 every placement goes straight to the phase-2 linear
+// fallback, so this isolates the scan itself: the SoA path sweeps the
+// contiguous per-resource arrays (two-level summary pruning + 8-wide chunked
+// fit kernel, DESIGN.md §11), the AoS path walks Machine structs with
+// per-block pruning only. Decisions are identical; only the walk differs.
+// Arg is the percent of machines that cannot fit the probe task: the first
+// Arg% of the cell is packed solid and the rest left empty, so every scan
+// must sweep past a controlled no-fit span before its first fit (at 100,
+// every scan is a full-cell proof that no fit exists).
+void NoFitScanBenchmark(benchmark::State& state, bool soa) {
+  constexpr uint32_t kMachines = 100000;
+  CellState cell(kMachines, kMachine);
+  cell.SetSoAScan(soa);
+  const auto saturated =
+      static_cast<uint32_t>(state.range(0)) * (kMachines / 100);
+  for (MachineId m = 0; m < saturated; ++m) {
+    while (cell.CanFit(m, kTask)) {
+      cell.Allocate(m, kTask);
+    }
+  }
+  Job job;
+  job.num_tasks = 10;
+  job.task_resources = kTask;
+  RandomizedFirstFitPlacer placer(/*max_random_probes=*/0);
+  Rng rng(13);
+  std::vector<TaskClaim> claims;
+  for (auto _ : state) {
+    claims.clear();
+    const uint32_t placed = placer.PlaceTasks(cell, job, 10, rng, &claims);
+    benchmark::DoNotOptimize(placed);
+    for (const TaskClaim& c : claims) {
+      cell.Allocate(c.machine, c.resources);
+    }
+    for (const TaskClaim& c : claims) {
+      cell.Free(c.machine, c.resources);
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * 10);
+}
+
+void BM_NoFitScanSoA(benchmark::State& state) {
+  NoFitScanBenchmark(state, /*soa=*/true);
+}
+BENCHMARK(BM_NoFitScanSoA)->Arg(50)->Arg(85)->Arg(95)->Arg(99)->Arg(100);
+
+void BM_NoFitScanAoS(benchmark::State& state) {
+  NoFitScanBenchmark(state, /*soa=*/false);
+}
+BENCHMARK(BM_NoFitScanAoS)->Arg(50)->Arg(85)->Arg(95)->Arg(99)->Arg(100);
+
 // Fills a cell to roughly `percent` CPU utilization with task-sized
 // allocations (random first fit, mirroring BM_PlacerAtUtilization's fill).
 // Machines below `reserve` are left empty so the benchmark body always has

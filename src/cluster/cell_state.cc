@@ -28,11 +28,37 @@ CellState::CellState(std::vector<Resources> machine_capacities,
     machines_[i].failure_domain = static_cast<int32_t>(i / machines_per_domain);
     total_capacity_ += machine_capacities[i];
   }
+  InitSoA();
   const size_t num_blocks = (machines_.size() + kBlockSize - 1) / kBlockSize;
-  block_max_avail_.resize(num_blocks);
+  block_max_cpu_.resize(num_blocks);
+  block_max_mem_.resize(num_blocks);
   block_dirty_.assign(num_blocks, 0);
   for (size_t b = 0; b < num_blocks; ++b) {
     RecomputeBlock(b);
+  }
+  const size_t num_supers = (num_blocks + kSuperSize - 1) / kSuperSize;
+  super_max_cpu_.resize(num_supers);
+  super_max_mem_.resize(num_supers);
+  super_dirty_.assign(num_supers, 0);
+  for (size_t s = 0; s < num_supers; ++s) {
+    RecomputeSuper(s);
+  }
+}
+
+void CellState::InitSoA() {
+  const size_t n = machines_.size();
+  soa_alloc_cpu_.assign(n, 0.0);
+  soa_alloc_mem_.assign(n, 0.0);
+  soa_fit_cpu_.resize(n);
+  soa_fit_mem_.resize(n);
+  for (size_t i = 0; i < n; ++i) {
+    // Precompute the fit limit so the scan predicate is a pure compare:
+    // `alloc + request <= usable + epsilon` is componentwise exactly the
+    // FitsIn test CanFit evaluates (with zero pending, x + 0.0 == x bitwise
+    // for the values that occur here).
+    const Resources usable = UsableCapacity(static_cast<MachineId>(i));
+    soa_fit_cpu_[i] = usable.cpus + kResourceEpsilon;
+    soa_fit_mem_[i] = usable.mem_gb + kResourceEpsilon;
   }
 }
 
@@ -45,25 +71,110 @@ void CellState::RecomputeBlock(size_t block) const {
     max_avail.cpus = std::max(max_avail.cpus, avail.cpus);
     max_avail.mem_gb = std::max(max_avail.mem_gb, avail.mem_gb);
   }
-  block_max_avail_[block] = max_avail;
+  block_max_cpu_[block] = max_avail.cpus;
+  block_max_mem_[block] = max_avail.mem_gb;
   block_dirty_[block] = 0;
 }
 
+void CellState::RecomputeSuper(size_t super) const {
+  const size_t begin = super * kSuperSize;
+  const size_t end = std::min(begin + kSuperSize, block_max_cpu_.size());
+  double max_cpu = 0.0;
+  double max_mem = 0.0;
+  for (size_t b = begin; b < end; ++b) {
+    if (block_dirty_[b] != 0) {
+      RecomputeBlock(b);
+    }
+    max_cpu = std::max(max_cpu, block_max_cpu_[b]);
+    max_mem = std::max(max_mem, block_max_mem_[b]);
+  }
+  super_max_cpu_[super] = max_cpu;
+  super_max_mem_[super] = max_mem;
+  super_dirty_[super] = 0;
+}
+
 void CellState::BlockAfterShrink(MachineId id) {
-  // A shrink can only lower the block maximum, so the stored value stays a
-  // sound (stale-high) upper bound; just mark the block stale and let the
-  // next BlockMayFit consult re-summarize it. A single byte store keeps the
-  // allocation fast path free of summary-array traffic.
-  block_dirty_[id / kBlockSize] = 1;
+  // A shrink can only lower the maxima, so the stored values stay sound
+  // (stale-high) upper bounds; just mark both levels stale and let the next
+  // summary consult re-summarize them. Two byte stores keep the allocation
+  // fast path free of summary-array traffic.
+  const size_t block = id / kBlockSize;
+  block_dirty_[block] = 1;
+  super_dirty_[block / kSuperSize] = 1;
 }
 
 void CellState::BlockAfterGrow(MachineId id) {
-  // Raising the maximum keeps a clean block exact and a dirty block's upper
-  // bound sound; either way it is correct (and branch-free).
-  Resources& max_avail = block_max_avail_[id / kBlockSize];
+  // Raising the maxima keeps a clean summary exact and a dirty summary's
+  // upper bound sound; either way it is correct (and branch-free) — at both
+  // levels.
+  const size_t block = id / kBlockSize;
   const Resources avail = UsableAvail(id);
-  max_avail.cpus = std::max(max_avail.cpus, avail.cpus);
-  max_avail.mem_gb = std::max(max_avail.mem_gb, avail.mem_gb);
+  block_max_cpu_[block] = std::max(block_max_cpu_[block], avail.cpus);
+  block_max_mem_[block] = std::max(block_max_mem_[block], avail.mem_gb);
+  const size_t super = block / kSuperSize;
+  super_max_cpu_[super] = std::max(super_max_cpu_[super], avail.cpus);
+  super_max_mem_[super] = std::max(super_max_mem_[super], avail.mem_gb);
+}
+
+MachineId CellState::ScanFit(MachineId from, MachineId to,
+                             const Resources& request) const {
+  const double* __restrict acpu = soa_alloc_cpu_.data();
+  const double* __restrict amem = soa_alloc_mem_.data();
+  const double* __restrict fcpu = soa_fit_cpu_.data();
+  const double* __restrict fmem = soa_fit_mem_.data();
+  const double rc = request.cpus;
+  const double rm = request.mem_gb;
+  // Branchless 8-wide chunks first: an early-exit loop defeats
+  // auto-vectorization, so accumulate a chunk-level "any machine fits" mask
+  // and only drop to the scalar rescan once a chunk reports a hit. The
+  // predicate is componentwise exactly CanFit's FitsIn test (see InitSoA).
+  constexpr uint32_t kChunk = 8;
+  uint32_t i = from;
+  for (; i + kChunk <= to; i += kChunk) {
+    uint32_t any = 0;
+    for (uint32_t k = 0; k < kChunk; ++k) {
+      any += static_cast<uint32_t>(acpu[i + k] + rc <= fcpu[i + k]) &
+             static_cast<uint32_t>(amem[i + k] + rm <= fmem[i + k]);
+    }
+    if (any != 0) {
+      break;
+    }
+  }
+  for (; i < to; ++i) {
+    if (acpu[i] + rc <= fcpu[i] && amem[i] + rm <= fmem[i]) {
+      return i;
+    }
+  }
+  return kInvalidMachineId;
+}
+
+MachineId CellState::FindFirstFit(MachineId begin, MachineId end,
+                                  const Resources& request) const {
+  const auto num = static_cast<MachineId>(machines_.size());
+  MachineId id = begin;
+  const MachineId limit = std::min(end, num);
+  constexpr uint32_t kSuperMachines = kBlockSize * kSuperSize;
+  while (id < limit) {
+    // Prune a whole superblock, then a whole block, before touching machines.
+    // Both prunes are conservative (stale-high summaries are refreshed before
+    // the compare), so no feasible machine is ever skipped.
+    if (!SuperblockMayFit(id, request)) {
+      id = (id / kSuperMachines + 1) * kSuperMachines;
+      continue;
+    }
+    if (!BlockMayFit(id, request)) {
+      id = NextBlockStart(id);
+      continue;
+    }
+    const MachineId block_end =
+        std::min(limit, static_cast<MachineId>(NextBlockStart(id)));
+    const MachineId hit = ScanFit(id, block_end, request);
+    if (hit != kInvalidMachineId) {
+      return hit;
+    }
+    id = block_end;
+  }
+  return kInvalidMachineId;
 }
 
 Resources CellState::UsableCapacity(MachineId id) const {
@@ -97,6 +208,7 @@ void CellState::Allocate(MachineId id, const Resources& request_ref) {
   m.allocated += request;
   ++m.seqnum;
   total_allocated_ += request;
+  SyncSoA(id);
   BlockAfterShrink(id);
   if (HasAvailabilityIndex()) {
     IndexUpdate(id, old_bucket);
@@ -114,6 +226,7 @@ void CellState::Free(MachineId id, const Resources& request_ref) {
   ++m.seqnum;
   total_allocated_ -= request;
   total_allocated_ = total_allocated_.ClampNonNegative();
+  SyncSoA(id);
   BlockAfterGrow(id);
   if (HasAvailabilityIndex()) {
     IndexUpdate(id, old_bucket);
@@ -148,6 +261,7 @@ void CellState::AllocateBatch(MachineId id, const Resources& per_task,
       << "overcommit on machine " << id << ": allocated=" << m.allocated
       << " batch=" << request << " x" << count << " capacity=" << m.capacity;
   m.seqnum += count;
+  SyncSoA(id);
   BlockAfterShrink(id);
 }
 
@@ -177,6 +291,7 @@ void CellState::FreeBatch(MachineId id, const Resources& per_task,
     total_allocated_ = total_allocated_.ClampNonNegative();
   }
   m.seqnum += count;
+  SyncSoA(id);
   BlockAfterGrow(id);
 }
 
@@ -457,19 +572,34 @@ bool CellState::CheckInvariants() const {
       return false;
     }
     sum += m.allocated;
-    // The block summary must dominate every machine's usable availability
-    // (soundness: BlockMayFit may never rule out a feasible machine) ...
+    // The SoA mirrors must be bitwise-equal to the Machine structs (they are
+    // maintained by plain assignment, so any divergence is a missed sync) ...
+    if (soa_alloc_cpu_[m.id] != m.allocated.cpus ||
+        soa_alloc_mem_[m.id] != m.allocated.mem_gb ||
+        soa_fit_cpu_[m.id] != UsableCapacity(m.id).cpus + kResourceEpsilon ||
+        soa_fit_mem_[m.id] != UsableCapacity(m.id).mem_gb + kResourceEpsilon) {
+      return false;
+    }
+    // ... and the block summary must dominate every machine's usable
+    // availability (soundness: BlockMayFit may never rule out a feasible
+    // machine) ...
     const Resources avail = UsableAvail(m.id);
-    const Resources& max_avail = block_max_avail_[m.id / kBlockSize];
-    if (avail.cpus > max_avail.cpus + kResourceEpsilon ||
-        avail.mem_gb > max_avail.mem_gb + kResourceEpsilon) {
+    const size_t block = m.id / kBlockSize;
+    if (avail.cpus > block_max_cpu_[block] + kResourceEpsilon ||
+        avail.mem_gb > block_max_mem_[block] + kResourceEpsilon) {
+      return false;
+    }
+    // ... as must the superblock summary, one level up.
+    const size_t super = block / kSuperSize;
+    if (avail.cpus > super_max_cpu_[super] + kResourceEpsilon ||
+        avail.mem_gb > super_max_mem_[super] + kResourceEpsilon) {
       return false;
     }
   }
   // ... and clean blocks must additionally stay tight: their summary must be
   // achieved by some machine per dimension, or pruning quietly degrades.
   // (Dirty blocks are allowed to be stale-high until their next consult.)
-  for (size_t b = 0; b < block_max_avail_.size(); ++b) {
+  for (size_t b = 0; b < block_max_cpu_.size(); ++b) {
     if (block_dirty_[b] != 0) {
       continue;
     }
@@ -481,8 +611,31 @@ bool CellState::CheckInvariants() const {
       max_avail.cpus = std::max(max_avail.cpus, avail.cpus);
       max_avail.mem_gb = std::max(max_avail.mem_gb, avail.mem_gb);
     }
-    if (std::abs(block_max_avail_[b].cpus - max_avail.cpus) > 1e-6 ||
-        std::abs(block_max_avail_[b].mem_gb - max_avail.mem_gb) > 1e-6) {
+    if (std::abs(block_max_cpu_[b] - max_avail.cpus) > 1e-6 ||
+        std::abs(block_max_mem_[b] - max_avail.mem_gb) > 1e-6) {
+      return false;
+    }
+  }
+  // Clean superblocks: every constituent block must be clean (a shrink marks
+  // both levels, and only RecomputeSuper — which refreshes its blocks —
+  // clears the super bit), and the stored value must equal the exact maximum
+  // over the stored block values (grow raises both levels consistently).
+  for (size_t s = 0; s < super_max_cpu_.size(); ++s) {
+    if (super_dirty_[s] != 0) {
+      continue;
+    }
+    const size_t begin = s * kSuperSize;
+    const size_t end = std::min(begin + kSuperSize, block_max_cpu_.size());
+    double max_cpu = 0.0;
+    double max_mem = 0.0;
+    for (size_t b = begin; b < end; ++b) {
+      if (block_dirty_[b] != 0) {
+        return false;
+      }
+      max_cpu = std::max(max_cpu, block_max_cpu_[b]);
+      max_mem = std::max(max_mem, block_max_mem_[b]);
+    }
+    if (super_max_cpu_[s] != max_cpu || super_max_mem_[s] != max_mem) {
       return false;
     }
   }

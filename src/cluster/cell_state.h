@@ -162,7 +162,7 @@ class CellState {
   // Returns true when consistent.
   bool CheckInvariants() const;
 
-  // --- block availability summaries ---
+  // --- block / superblock availability summaries ---
   //
   // Machines are grouped into fixed blocks of kBlockSize consecutive ids, and
   // every block carries the componentwise maximum of its machines' usable
@@ -170,22 +170,32 @@ class CellState {
   // scans use BlockMayFit to skip whole blocks that cannot fit a request in
   // at least one resource dimension — which is what keeps randomized first
   // fit's linear fallback cheap in the near-full regime the paper's
-  // experiments deliberately drive into (§4, §5).
+  // experiments deliberately drive into (§4, §5). Blocks are further grouped
+  // into superblocks of kSuperSize consecutive blocks (kBlockSize *
+  // kSuperSize = 4096 machines) carrying the same kind of summary one level
+  // up, so a mega-cell no-fit scan is ~O(cell / 4096) superblock consults
+  // instead of O(cell / 64) block consults (DESIGN.md §11).
   //
   // Maintenance is incremental and lazy, tuned to the traffic mix: frees
-  // raise the stored maximum in O(1); an allocation just marks its block
-  // dirty with a byte store (allocations vastly outnumber fallback scans, so
-  // doing any more work here would cost more than pruning saves); BlockMayFit
-  // re-summarizes a dirty block on first consult. Between recomputes a dirty block's stored value is
-  // stale-high — a sound upper bound — so pruning never wrongly rules a
-  // block out, it just prunes less until refreshed. Because a pending
-  // (uncommitted) claim only shrinks availability further, a block ruled out
-  // by the summary can never hide a machine a CanFitWithPending scan would
-  // have accepted: skipping is strictly conservative.
+  // raise the stored maxima in O(1); an allocation just marks its block and
+  // superblock dirty with byte stores (allocations vastly outnumber fallback
+  // scans, so doing any more work here would cost more than pruning saves);
+  // a dirty summary is re-summarized on first consult. Between recomputes a
+  // dirty summary's stored value is stale-high — a sound upper bound — so
+  // pruning never wrongly rules a block out, it just prunes less until
+  // refreshed. Because a pending (uncommitted) claim only shrinks
+  // availability further, a block ruled out by the summary can never hide a
+  // machine a CanFitWithPending scan would have accepted: skipping is
+  // strictly conservative at both levels.
 
   static constexpr uint32_t kBlockSize = 64;
+  // Blocks per superblock (so kBlockSize * kSuperSize machines each).
+  static constexpr uint32_t kSuperSize = 64;
 
-  uint32_t NumBlocks() const { return static_cast<uint32_t>(block_max_avail_.size()); }
+  uint32_t NumBlocks() const { return static_cast<uint32_t>(block_max_cpu_.size()); }
+  uint32_t NumSuperblocks() const {
+    return static_cast<uint32_t>(super_max_cpu_.size());
+  }
 
   // True unless no machine in the block containing `id` can fit `request`
   // (i.e. false means every machine in the block fails CanFit for `request`).
@@ -195,7 +205,20 @@ class CellState {
     if (block_dirty_[block] != 0) {
       RecomputeBlock(block);
     }
-    return request.FitsIn(block_max_avail_[block]);
+    return request.cpus <= block_max_cpu_[block] + kResourceEpsilon &&
+           request.mem_gb <= block_max_mem_[block] + kResourceEpsilon;
+  }
+
+  // As BlockMayFit, one level up: true unless no machine in the superblock
+  // containing `id` can fit `request`. Refreshes the superblock (and any
+  // dirty constituent blocks) if stale.
+  bool SuperblockMayFit(MachineId id, const Resources& request) const {
+    const size_t super = id / (kBlockSize * kSuperSize);
+    if (super_dirty_[super] != 0) {
+      RecomputeSuper(super);
+    }
+    return request.cpus <= super_max_cpu_[super] + kResourceEpsilon &&
+           request.mem_gb <= super_max_mem_[super] + kResourceEpsilon;
   }
 
   // First machine id after `id` that lies in the next block; placement scans
@@ -203,6 +226,34 @@ class CellState {
   static MachineId NextBlockStart(MachineId id) {
     return (id / kBlockSize + 1) * kBlockSize;
   }
+
+  // --- struct-of-arrays placement core (DESIGN.md §11) ---
+  //
+  // The per-machine allocation and fit-limit values are mirrored into
+  // contiguous double arrays so the no-fit scans that dominate near-full
+  // placement become branch-light linear sweeps over packed doubles (the
+  // vector bin-packing layout). The mirrors are maintained unconditionally —
+  // every mutation writes the machine's allocated components through — and
+  // are bitwise-equal to the Machine structs by construction.
+
+  // First machine id in [begin, end) whose current allocation can fit
+  // `request` under the fullness policy, ignoring pending claims and
+  // placement constraints — the same predicate as CanFit, evaluated as a
+  // two-level-pruned sweep over the SoA arrays. Returns kInvalidMachineId if
+  // no machine in the range fits. Callers re-check candidates with
+  // constraints and pending claims: a machine this sweep skips fails those
+  // stricter checks too (pending only shrinks availability), so using it as
+  // a pre-filter changes no placement decision.
+  MachineId FindFirstFit(MachineId begin, MachineId end,
+                         const Resources& request) const;
+
+  // Gates whether placers use the SoA sweep (FindFirstFit) or the original
+  // per-Machine scan for their linear fallbacks. Decisions are identical
+  // either way by construction (SimOptions::soa_cell, DESIGN.md §11); the
+  // toggle exists so differential tests can compare the two paths. The SoA
+  // mirrors themselves are always maintained.
+  void SetSoAScan(bool on) { soa_scan_ = on; }
+  bool soa_scan() const { return soa_scan_; }
 
   // --- availability index ---
   //
@@ -241,11 +292,28 @@ class CellState {
   // Recomputes a block's summary from its machines and clears its dirty bit
   // (const: the summary is a cache over machine state).
   void RecomputeBlock(size_t block) const;
-  // Marks the summary stale after machine `id`'s availability shrank
+  // Recomputes a superblock's summary from its (refreshed) constituent blocks
+  // and clears its dirty bit.
+  void RecomputeSuper(size_t super) const;
+  // Marks both summary levels stale after machine `id`'s availability shrank
   // (allocation path).
   void BlockAfterShrink(MachineId id);
-  // Restores the summary after machine `id`'s availability grew (free path).
+  // Restores both summary levels after machine `id`'s availability grew (free
+  // path).
   void BlockAfterGrow(MachineId id);
+
+  // Writes machine `id`'s allocated components through to the SoA mirrors.
+  void SyncSoA(MachineId id) {
+    soa_alloc_cpu_[id] = machines_[id].allocated.cpus;
+    soa_alloc_mem_[id] = machines_[id].allocated.mem_gb;
+  }
+  // Fills the SoA fit-limit arrays from the (immutable) usable capacities;
+  // called once from both constructors.
+  void InitSoA();
+  // Chunked kernel under FindFirstFit: first id in [from, to) — a range that
+  // never crosses a block boundary — whose raw allocation fits `request`, or
+  // kInvalidMachineId.
+  MachineId ScanFit(MachineId from, MachineId to, const Resources& request) const;
 
   std::vector<Machine> machines_;
   Resources total_capacity_;
@@ -253,12 +321,29 @@ class CellState {
   FullnessPolicy fullness_;
   double headroom_fraction_;
 
+  // SoA mirrors of per-machine state (always maintained, bitwise-equal to the
+  // Machine structs): allocated components, and the fit limit
+  // UsableCapacity + kResourceEpsilon per component — precomputed so the scan
+  // predicate `alloc + request <= fit` needs no per-machine recomputation.
+  // The fit arrays are fixed at construction (capacity and fullness policy
+  // are immutable after construction).
+  std::vector<double> soa_alloc_cpu_;
+  std::vector<double> soa_alloc_mem_;
+  std::vector<double> soa_fit_cpu_;
+  std::vector<double> soa_fit_mem_;
+  bool soa_scan_ = true;
+
   // Per-block componentwise maximum of UsableAvail over the block's machines
-  // (always maintained; one entry per kBlockSize machines). Mutable: a dirty
-  // block is lazily re-summarized on first consult, including through const
-  // readers.
-  mutable std::vector<Resources> block_max_avail_;
+  // (always maintained; one entry per kBlockSize machines), split into
+  // per-resource double arrays, plus the same summary one level up over
+  // kSuperSize blocks. Mutable: a dirty summary is lazily recomputed on first
+  // consult, including through const readers.
+  mutable std::vector<double> block_max_cpu_;
+  mutable std::vector<double> block_max_mem_;
   mutable std::vector<uint8_t> block_dirty_;
+  mutable std::vector<double> super_max_cpu_;
+  mutable std::vector<double> super_max_mem_;
+  mutable std::vector<uint8_t> super_dirty_;
 
   CommitObserver commit_observer_;
   bool batched_commit_ = true;

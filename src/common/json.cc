@@ -1,19 +1,25 @@
 #include "src/common/json.h"
 
+#include <charconv>
 #include <cmath>
-#include <limits>
 
 namespace omega {
 namespace json {
 
 void AppendNumber(std::ostream& os, double v) {
-  if (std::isfinite(v)) {
-    const auto saved = os.precision(std::numeric_limits<double>::max_digits10);
-    os << v;
-    os.precision(saved);
-  } else {
+  // JSON has no NaN/Infinity (empty-Cdf percentiles and zero-duration rates
+  // produce them); emit null so the document stays parseable.
+  if (!std::isfinite(v)) {
     os << "null";
+    return;
   }
+  // std::to_chars: shortest round-trip form, independent of the stream's
+  // locale and format flags — `os << v` under a comma-decimal locale or after
+  // a caller left std::hexfloat/std::fixed set emits invalid JSON.
+  char buf[32];
+  const auto [ptr, ec] = std::to_chars(buf, buf + sizeof(buf), v);
+  (void)ec;  // cannot fail: 32 bytes covers every shortest double
+  os.write(buf, ptr - buf);
 }
 
 void AppendString(std::ostream& os, std::string_view s) {

@@ -14,6 +14,21 @@ namespace omega {
 using json::AppendNumber;
 using json::AppendString;
 
+std::string SanitizeProvenance(std::string_view value) {
+  if (value.empty()) {
+    return "unknown";
+  }
+  for (const char c : value) {
+    // Reject whitespace and control characters: a git error message ("fatal:
+    // not a git repository") or stray newline is not a sha or build type.
+    if (static_cast<unsigned char>(c) <= ' ' ||
+        static_cast<unsigned char>(c) >= 0x7f) {
+      return "unknown";
+    }
+  }
+  return std::string(value);
+}
+
 double SweepReport::TrialSecondsTotal() const {
   double total = 0.0;
   for (double s : trial_wall_seconds) {
@@ -95,11 +110,13 @@ SweepRunner::SweepRunner(std::string name, uint64_t base_seed,
   report_.name = std::move(name);
   report_.base_seed = base_seed;
 #ifdef OMEGA_GIT_SHA
-  report_.git_sha = OMEGA_GIT_SHA;
+  report_.git_sha = SanitizeProvenance(OMEGA_GIT_SHA);
 #endif
 #ifdef OMEGA_BUILD_TYPE
-  report_.build_type = OMEGA_BUILD_TYPE;
+  report_.build_type = SanitizeProvenance(OMEGA_BUILD_TYPE);
 #endif
+  // The env override is deliberate operator input (tarball builds stamping a
+  // known sha), so it is taken verbatim when non-empty.
   if (const char* env = std::getenv("OMEGA_GIT_SHA");
       env != nullptr && env[0] != '\0') {
     report_.git_sha = env;

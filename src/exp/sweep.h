@@ -12,6 +12,7 @@
 #include <chrono>
 #include <cstdint>
 #include <string>
+#include <string_view>
 #include <type_traits>
 #include <utility>
 #include <vector>
@@ -21,6 +22,13 @@
 #include "src/common/stats.h"
 
 namespace omega {
+
+// Provenance guard for BENCH_*.json: returns `value` if it is a plausible
+// single token (non-empty, printable, no whitespace), else "unknown". The
+// compiled-in git sha / build type pass through here so a failed configure-
+// time `git rev-parse` (tarball build) can never embed an empty or error
+// string in a bench report.
+std::string SanitizeProvenance(std::string_view value);
 
 // Identity of one trial in a sweep grid, handed to the trial function.
 struct TrialContext {

@@ -82,8 +82,34 @@ uint32_t ScoringPlacer::PlaceTasks(const CellState& cell, const Job& job,
       }
       if (best == kInvalidMachineId) {
         const auto start = static_cast<MachineId>(rng.NextBounded(num_machines));
-        for (uint32_t i = 0; i < num_machines && best == kInvalidMachineId; ++i) {
-          consider((start + i) % num_machines);
+        if (cell.soa_scan()) {
+          // The reference loop below stops at the first machine consider()
+          // scores (its loop condition), so this is a first-fit search: sweep
+          // each ascending segment with the SoA core, re-checking candidates
+          // with consider() (constraints + pending). Machines the sweep skips
+          // fail CanFit outright, and consider() is side-effect-free on them,
+          // so the chosen machine — and the absence of RNG draws — match the
+          // reference exactly.
+          auto sweep = [&](MachineId from, MachineId to) {
+            while (from < to && best == kInvalidMachineId) {
+              const MachineId hit =
+                  cell.FindFirstFit(from, to, job.task_resources);
+              if (hit == kInvalidMachineId) {
+                return;
+              }
+              consider(hit);
+              from = hit + 1;
+            }
+          };
+          sweep(start, num_machines);
+          if (best == kInvalidMachineId) {
+            sweep(0, start);
+          }
+        } else {
+          for (uint32_t i = 0; i < num_machines && best == kInvalidMachineId;
+               ++i) {
+            consider((start + i) % num_machines);
+          }
         }
       }
     }

@@ -26,6 +26,7 @@ ClusterSimulation::ClusterSimulation(const ClusterConfig& config,
   // One flag drives both halves of cohort batching: grouped commit
   // application in the cell and the shared-end-event lifecycle here.
   cell_.SetBatchedCommit(options.cohort_batching);
+  cell_.SetSoAScan(options.soa_cell);
   if (generator_options.generate_constraints) {
     MachineAttributeAssignment assignment;
     assignment.num_attribute_keys = generator_options.num_attribute_keys;

@@ -91,6 +91,13 @@ struct SimOptions {
   // differential tests can compare against the per-task reference path.
   bool cohort_batching = true;
 
+  // Struct-of-arrays placement scans (DESIGN.md §11): the placers' linear
+  // no-fit fallbacks sweep CellState's contiguous per-resource arrays (with
+  // two-level summary pruning) instead of walking Machine structs. Placement
+  // decisions are identical either way by construction; the flag exists so
+  // the differential tests can compare against the per-Machine reference.
+  bool soa_cell = true;
+
   // Machine failure injection. The paper's simulators do not model machine
   // failures ("these only generate a small load on the scheduler"); this
   // lifts that simplification. Expected failures per machine per day; 0

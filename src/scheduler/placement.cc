@@ -53,7 +53,38 @@ uint32_t RandomizedFirstFitPlacer::PlaceTasks(const CellState& cell, const Job& 
     // the request are skipped — their machines would all fail CanFit, so the
     // first machine accepted (and hence the placement) is unchanged. The scan
     // wraps at most once, so a block is re-summarized at most twice.
-    if (chosen == kInvalidMachineId) {
+    if (chosen == kInvalidMachineId && cell.soa_scan()) {
+      // SoA sweep: FindFirstFit walks the contiguous per-resource arrays
+      // (with two-level summary pruning) and returns the first machine whose
+      // raw allocation fits. Machines it skips fail CanFit outright, so they
+      // would fail the reference loop's CanFitWithPending too (pending only
+      // shrinks availability) — candidates just need the constraint and
+      // pending re-checks, and a rejected candidate resumes the sweep at the
+      // next id. Same claims, same RNG draws as the reference branch below.
+      const auto start = static_cast<uint32_t>(rng.NextBounded(num_machines));
+      for (uint32_t i = 0; i < num_machines;) {
+        const uint32_t idx = (start + i) % num_machines;
+        const MachineId m = range_.Nth(idx);
+        // Machine ids ascend until the scan wraps at the range end.
+        const uint32_t span = num_machines - idx;
+        const MachineId hit = cell.FindFirstFit(m, m + span, job.task_resources);
+        if (hit == kInvalidMachineId) {
+          i += span;
+          continue;
+        }
+        i += hit - m;
+        if (respect_constraints_ &&
+            !MachineSatisfiesConstraints(cell.machine(hit), job)) {
+          ++i;
+          continue;
+        }
+        if (cell.CanFitWithPending(hit, job.task_resources, pending.On(hit))) {
+          chosen = hit;
+          break;
+        }
+        ++i;
+      }
+    } else if (chosen == kInvalidMachineId) {
       const auto start = static_cast<uint32_t>(rng.NextBounded(num_machines));
       for (uint32_t i = 0; i < num_machines;) {
         const uint32_t idx = (start + i) % num_machines;

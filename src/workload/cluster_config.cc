@@ -102,6 +102,19 @@ ClusterConfig ClusterD() {
   return c;
 }
 
+ClusterConfig ClusterMega() {
+  ClusterConfig c;
+  c.name = CopyName("mega");
+  c.num_machines = 100000;
+  c.machine_capacity = Resources{4.0, 16.0};
+  // Arrival rates scale with cell size so per-machine load matches cluster C
+  // (the publicly traced cluster): 8x the machines, 8x the arrival rates —
+  // i.e. interarrival means divided by 100000/12500.
+  c.batch = BatchParams(1.43 / 8.0);
+  c.service = ServiceParams(28.0 / 8.0);
+  return c;
+}
+
 ClusterConfig ClusterByName(const std::string& name) {
   if (name == "A") {
     return ClusterA();

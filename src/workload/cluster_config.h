@@ -71,6 +71,11 @@ ClusterConfig ClusterB();
 ClusterConfig ClusterC();
 ClusterConfig ClusterD();
 
+// The 100k-machine mega-cell (ROADMAP "mega-cell regime"): cluster C's
+// per-machine load scaled to 8x the machines, for the fig_mega scale sweep
+// over the SoA placement core. Not part of ClusterByName's A-D set.
+ClusterConfig ClusterMega();
+
 // Lookup by name ("A".."D"); CHECK-fails on unknown names.
 ClusterConfig ClusterByName(const std::string& name);
 

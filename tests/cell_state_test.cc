@@ -435,6 +435,170 @@ TEST(BlockSummaryTest, NextBlockStartJumpsToBoundary) {
             2 * CellState::kBlockSize);
 }
 
+// Boundary regression: cell sizes straddling the block (64) and superblock
+// (64 * 64 = 4096) boundaries, so the final partial block and the final
+// partial superblock are exercised through every maintenance path. 4095 ends
+// one machine short of a full superblock; 4097 spills a one-machine block
+// into a one-block superblock.
+TEST(BlockSummaryTest, PartialTailSizesStayExactThroughChurn) {
+  for (const uint32_t size : {63u, 64u, 65u, 4095u, 4097u}) {
+    CellState cell(size, kMachine);
+    EXPECT_EQ(cell.NumBlocks(), (size + CellState::kBlockSize - 1) /
+                                    CellState::kBlockSize);
+    EXPECT_EQ(cell.NumSuperblocks(),
+              (cell.NumBlocks() + CellState::kSuperSize - 1) /
+                  CellState::kSuperSize);
+    Rng rng(size);
+    std::vector<std::pair<MachineId, Resources>> allocs;
+    for (int step = 0; step < 600; ++step) {
+      // Bias churn toward the tail so the partial block/superblock sees the
+      // most traffic.
+      const auto m = static_cast<MachineId>(
+          rng.NextBool(0.5) ? size - 1 - rng.NextBounded(std::min(size, 70u))
+                            : rng.NextBounded(size));
+      const Resources r{0.25 + rng.NextDouble(), 0.5 + 2.0 * rng.NextDouble()};
+      if (rng.NextBool(0.6)) {
+        if (cell.CanFit(m, r)) {
+          cell.Allocate(m, r);
+          allocs.emplace_back(m, r);
+        }
+      } else if (!allocs.empty()) {
+        const size_t pick = rng.NextBounded(allocs.size());
+        cell.Free(allocs[pick].first, allocs[pick].second);
+        allocs[pick] = allocs.back();
+        allocs.pop_back();
+      }
+      if (step % 50 == 0) {
+        // Consult both levels (refreshing any dirty summary) so the
+        // invariant check exercises tightness everywhere, including the
+        // partial tails.
+        for (MachineId b = 0; b < cell.NumBlocks(); ++b) {
+          cell.BlockMayFit(b * CellState::kBlockSize, kTask);
+        }
+        for (MachineId s = 0; s < cell.NumSuperblocks(); ++s) {
+          cell.SuperblockMayFit(
+              s * CellState::kBlockSize * CellState::kSuperSize, kTask);
+        }
+        ASSERT_TRUE(cell.CheckInvariants()) << "size " << size << " step "
+                                            << step;
+      }
+    }
+    ASSERT_TRUE(cell.CheckInvariants()) << "size " << size;
+  }
+}
+
+TEST(BlockSummaryTest, SuperblockSoundnessNeverRulesOutAFeasibleMachine) {
+  // 4097 machines: superblock 0 is full-size, superblock 1 holds a single
+  // one-machine block. Whatever SuperblockMayFit says "no" to must truly fit
+  // nowhere in that superblock.
+  constexpr uint32_t kSuperMachines =
+      CellState::kBlockSize * CellState::kSuperSize;
+  CellState cell(kSuperMachines + 1, kMachine);
+  Rng rng(99);
+  for (int step = 0; step < 3000; ++step) {
+    const auto m = static_cast<MachineId>(rng.NextBounded(cell.NumMachines()));
+    const Resources r{0.5 + rng.NextDouble(), 1.0 + 4.0 * rng.NextDouble()};
+    if (rng.NextBool(0.8)) {
+      if (cell.CanFit(m, r)) {
+        cell.Allocate(m, r);
+      }
+    } else if (!cell.machine(m).allocated.IsZero()) {
+      cell.Free(m, cell.machine(m).allocated);
+    }
+    const Resources probe{0.25 + 3.75 * rng.NextDouble(),
+                          1.0 + 15.0 * rng.NextDouble()};
+    const MachineId super_first = m < kSuperMachines ? 0 : kSuperMachines;
+    if (!cell.SuperblockMayFit(m, probe)) {
+      for (MachineId i = super_first;
+           i < super_first + kSuperMachines && i < cell.NumMachines(); ++i) {
+        ASSERT_FALSE(cell.CanFit(i, probe)) << "machine " << i;
+      }
+    }
+  }
+  EXPECT_TRUE(cell.CheckInvariants());
+}
+
+// --- struct-of-arrays first-fit sweep ---
+
+TEST(SoAScanTest, FindFirstFitMatchesBruteForceAtBoundarySizes) {
+  // FindFirstFit must return exactly the first machine in [begin, end) that
+  // CanFit the request — across partial blocks, partial superblocks, chunk
+  // tails, and stale summaries left by churn.
+  for (const uint32_t size : {63u, 64u, 65u, 200u, 4095u, 4097u}) {
+    CellState cell(size, kMachine);
+    Rng rng(size * 31 + 1);
+    std::vector<std::pair<MachineId, Resources>> allocs;
+    for (int step = 0; step < 400; ++step) {
+      const auto m = static_cast<MachineId>(rng.NextBounded(size));
+      const Resources r{0.25 + rng.NextDouble(), 0.5 + 2.0 * rng.NextDouble()};
+      if (rng.NextBool(0.7)) {
+        if (cell.CanFit(m, r)) {
+          cell.Allocate(m, r);
+          allocs.emplace_back(m, r);
+        }
+      } else if (!allocs.empty()) {
+        const size_t pick = rng.NextBounded(allocs.size());
+        cell.Free(allocs[pick].first, allocs[pick].second);
+        allocs[pick] = allocs.back();
+        allocs.pop_back();
+      }
+      const Resources probe{0.25 + 3.75 * rng.NextDouble(),
+                            0.5 + 15.5 * rng.NextDouble()};
+      // Random sub-range, plus the full range every few steps.
+      MachineId begin = 0;
+      MachineId end = size;
+      if (step % 3 != 0) {
+        begin = static_cast<MachineId>(rng.NextBounded(size));
+        end = begin + 1 +
+              static_cast<MachineId>(rng.NextBounded(size - begin));
+      }
+      MachineId expected = kInvalidMachineId;
+      for (MachineId i = begin; i < end; ++i) {
+        if (cell.CanFit(i, probe)) {
+          expected = i;
+          break;
+        }
+      }
+      ASSERT_EQ(cell.FindFirstFit(begin, end, probe), expected)
+          << "size " << size << " step " << step << " range [" << begin << ", "
+          << end << ")";
+    }
+  }
+}
+
+TEST(SoAScanTest, FindFirstFitClampsEndBeyondCell) {
+  CellState cell(65, kMachine);
+  // end past NumMachines must not over-read the arrays.
+  EXPECT_EQ(cell.FindFirstFit(0, 1000, kTask), 0u);
+  for (MachineId m = 0; m < cell.NumMachines(); ++m) {
+    while (cell.CanFit(m, kTask)) {
+      cell.Allocate(m, kTask);
+    }
+  }
+  EXPECT_EQ(cell.FindFirstFit(0, 1000, kTask), kInvalidMachineId);
+  EXPECT_EQ(cell.FindFirstFit(64, 65, kTask), kInvalidMachineId);
+  cell.Free(64, kTask);
+  EXPECT_EQ(cell.FindFirstFit(0, 1000, kTask), 64u);
+  EXPECT_EQ(cell.FindFirstFit(0, 64, kTask), kInvalidMachineId);
+  EXPECT_TRUE(cell.CheckInvariants());
+}
+
+TEST(SoAScanTest, HeadroomPolicyUsesUsableCapacity) {
+  // Under the headroom policy the fit limit is the reduced usable capacity,
+  // not raw capacity: a machine with room under kExact must be rejected once
+  // headroom eats the slack — by FindFirstFit exactly as by CanFit.
+  CellState cell(130, kMachine, FullnessPolicy::kHeadroom,
+                 /*headroom_fraction=*/0.2);
+  const Resources big{3.5, 1.0};  // fits 4.0 raw, not 3.2 usable
+  EXPECT_FALSE(cell.CanFit(0, big));
+  EXPECT_EQ(cell.FindFirstFit(0, cell.NumMachines(), big), kInvalidMachineId);
+  const Resources ok{3.0, 1.0};
+  EXPECT_EQ(cell.FindFirstFit(0, cell.NumMachines(), ok), 0u);
+  cell.Allocate(0, ok);
+  EXPECT_EQ(cell.FindFirstFit(0, cell.NumMachines(), ok), 1u);
+  EXPECT_TRUE(cell.CheckInvariants());
+}
+
 // --- accepted-set reconstruction after partial commits ---
 
 TEST(ReconstructAcceptedClaimsTest, RemovesRejectedInOrder) {

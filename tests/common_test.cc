@@ -1,12 +1,18 @@
 // Tests for the remaining common utilities: SimTime/Duration arithmetic,
-// ParallelFor, and logging levels.
+// ParallelFor, JSON emission, and logging levels.
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <cmath>
+#include <cstdlib>
+#include <iomanip>
+#include <limits>
 #include <numeric>
+#include <sstream>
 #include <stdexcept>
 #include <vector>
 
+#include "src/common/json.h"
 #include "src/common/logging.h"
 #include "src/common/parallel_for.h"
 #include "src/common/sim_time.h"
@@ -122,6 +128,51 @@ TEST(ParallelForTest, ExceptionPreservesMessage) {
   } catch (const std::runtime_error& e) {
     EXPECT_STREQ(e.what(), "exact message");
   }
+}
+
+std::string RenderNumber(double v) {
+  std::ostringstream os;
+  json::AppendNumber(os, v);
+  return os.str();
+}
+
+TEST(JsonTest, AppendNumberRoundTripsFiniteValues) {
+  const double values[] = {0.0,
+                           1.0,
+                           -2.5,
+                           0.1,
+                           1.0 / 3.0,
+                           9.531760859161224e-05,
+                           1e300,
+                           -1e-300,
+                           std::numeric_limits<double>::denorm_min(),
+                           std::numeric_limits<double>::max(),
+                           std::numeric_limits<double>::lowest()};
+  for (const double v : values) {
+    const std::string s = RenderNumber(v);
+    const double parsed = std::strtod(s.c_str(), nullptr);
+    EXPECT_EQ(parsed, v) << "rendered as " << s;
+  }
+}
+
+TEST(JsonTest, AppendNumberEmitsNullForNonFiniteValues) {
+  // JSON has no NaN/Infinity; an empty-Cdf percentile or a zero-duration
+  // rate must not poison the whole document.
+  EXPECT_EQ(RenderNumber(std::numeric_limits<double>::quiet_NaN()), "null");
+  EXPECT_EQ(RenderNumber(std::numeric_limits<double>::infinity()), "null");
+  EXPECT_EQ(RenderNumber(-std::numeric_limits<double>::infinity()), "null");
+}
+
+TEST(JsonTest, AppendNumberIgnoresStreamFormatState) {
+  // A caller that left hexfloat/fixed/precision set on the stream must not
+  // change what lands in the document.
+  std::ostringstream os;
+  os << std::hexfloat << std::setprecision(2);
+  json::AppendNumber(os, 0.1);
+  os << ' ';
+  os.setf(std::ios::fixed, std::ios::floatfield);
+  json::AppendNumber(os, 1e-7);
+  EXPECT_EQ(os.str(), "0.1 1e-07");
 }
 
 TEST(LoggingTest, LevelFiltering) {

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
 #include <memory>
 #include <sstream>
 #include <string>
@@ -190,6 +191,30 @@ TEST(RunReportTest, ToJsonEmitsWellFormedDocument) {
   EXPECT_NE(json.find("\"utilization_series\""), std::string::npos);
   EXPECT_NE(json.find("\"trace\""), std::string::npos);
   EXPECT_NE(json.find("\"mono\""), std::string::npos);
+}
+
+TEST(RunReportTest, ToJsonRendersNonFiniteValuesAsNull) {
+  // Empty-Cdf percentiles and zero-duration rates surface as NaN/inf in the
+  // report struct; the document must stay parseable JSON (null), never emit
+  // the C library's "nan"/"inf" spellings.
+  RunReport report;
+  report.architecture = "synthetic";
+  report.horizon_hours = std::numeric_limits<double>::quiet_NaN();
+  report.final_cpu_utilization = std::numeric_limits<double>::infinity();
+  report.final_mem_utilization = -std::numeric_limits<double>::infinity();
+  SchedulerReport sched;
+  sched.name = "s";
+  sched.mean_wait_batch_secs = std::numeric_limits<double>::quiet_NaN();
+  sched.p90_wait_service_secs = std::numeric_limits<double>::infinity();
+  report.schedulers.push_back(sched);
+  std::ostringstream os;
+  report.ToJson(os);
+  const std::string json = os.str();
+  EXPECT_EQ(json.find("nan"), std::string::npos) << json;
+  EXPECT_EQ(json.find("inf"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"horizon_hours\":null"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"mean_wait_batch_secs\":null"), std::string::npos)
+      << json;
 }
 
 }  // namespace

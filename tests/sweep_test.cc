@@ -279,6 +279,23 @@ TEST(SweepRunnerTest, EnvGitShaOverridesCompiledProvenance) {
       << json;
 }
 
+TEST(ProvenanceTest, SanitizeAcceptsPlainTokens) {
+  EXPECT_EQ(SanitizeProvenance("deadbeef1234"), "deadbeef1234");
+  EXPECT_EQ(SanitizeProvenance("Release"), "Release");
+  EXPECT_EQ(SanitizeProvenance("v2.1-rc3+local"), "v2.1-rc3+local");
+}
+
+TEST(ProvenanceTest, SanitizeMapsDegenerateValuesToUnknown) {
+  // `git rev-parse` outside a work tree prints an error on stderr and can
+  // leave the captured variable empty — or, with output merging, a full
+  // diagnostic sentence. Neither may leak into BENCH provenance.
+  EXPECT_EQ(SanitizeProvenance(""), "unknown");
+  EXPECT_EQ(SanitizeProvenance("fatal: not a git repository"), "unknown");
+  EXPECT_EQ(SanitizeProvenance("deadbeef\n"), "unknown");
+  EXPECT_EQ(SanitizeProvenance(" "), "unknown");
+  EXPECT_EQ(SanitizeProvenance("abc\tdef"), "unknown");
+}
+
 TEST(SweepRunnerTest, EnvSeedOverridesBaseSeed) {
   setenv("OMEGA_BENCH_SEED", "31337", 1);
   SweepRunner runner("test_env_seed", 1, 1);
