@@ -1,6 +1,7 @@
 // Shared helpers for the figure/table reproduction benches.
 #pragma once
 
+#include <cstdlib>
 #include <iostream>
 #include <string>
 #include <vector>
@@ -37,6 +38,24 @@ inline void PrintBenchHeader(const std::string& id, const std::string& title,
 // The t_job(service) sweep used by Figures 5-7 and 12 (10 ms .. 100 s).
 inline std::vector<double> TjobSweep(int points = 7) {
   return LogSpace(0.01, 100.0, points);
+}
+
+// SimOptions::intra_trial_threads for bench trials: $OMEGA_INTRA_TRIAL_THREADS
+// (default 1 = sequential trials; 0 = hardware concurrency). Results are
+// bit-identical at any value — CI re-runs the golden checks at 2 to prove it
+// — so the knob only trades trial wall-clock against sweep-level parallelism.
+// Benches that honor it record the value in BENCH provenance via
+// SweepReport::intra_trial_threads.
+inline uint32_t BenchIntraTrialThreads() {
+  if (const char* env = std::getenv("OMEGA_INTRA_TRIAL_THREADS");
+      env != nullptr && env[0] != '\0') {
+    char* end = nullptr;
+    const unsigned long v = std::strtoul(env, &end, 10);
+    if (end != env) {
+      return static_cast<uint32_t>(v);
+    }
+  }
+  return 1;
 }
 
 // Writes the sweep's BENCH_<figure>.json and prints a one-line timing

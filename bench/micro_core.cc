@@ -5,6 +5,7 @@
 #include <benchmark/benchmark.h>
 
 #include "src/cluster/cell_state.h"
+#include "src/common/parallel_for.h"
 #include "src/hifi/scoring_placer.h"
 #include "src/scheduler/placement.h"
 #include "src/sim/event_queue.h"
@@ -332,6 +333,70 @@ void BM_NoFitScanAoS(benchmark::State& state) {
   NoFitScanBenchmark(state, /*soa=*/false);
 }
 BENCHMARK(BM_NoFitScanAoS)->Arg(50)->Arg(85)->Arg(95)->Arg(99)->Arg(100);
+
+// The SoA no-fit scan sharded over an intra-trial worker pool (DESIGN.md
+// §12): the fully saturated cell makes every placement a full-cell no-fit
+// proof, the worst case the parallel sweep targets. Arg is
+// SimOptions::intra_trial_threads; Arg 1 is the sequential baseline (no pool)
+// for the scaling curve. Decisions are bit-identical at every Arg.
+void BM_NoFitScanSoAParallel(benchmark::State& state) {
+  constexpr uint32_t kMachines = 100000;
+  CellState cell(kMachines, kMachine);
+  cell.SetIntraTrialParallelism(static_cast<uint32_t>(state.range(0)));
+  for (MachineId m = 0; m < kMachines; ++m) {
+    while (cell.CanFit(m, kTask)) {
+      cell.Allocate(m, kTask);
+    }
+  }
+  Job job;
+  job.num_tasks = 10;
+  job.task_resources = kTask;
+  RandomizedFirstFitPlacer placer(/*max_random_probes=*/0);
+  Rng rng(13);
+  std::vector<TaskClaim> claims;
+  for (auto _ : state) {
+    claims.clear();
+    const uint32_t placed = placer.PlaceTasks(cell, job, 10, rng, &claims);
+    benchmark::DoNotOptimize(placed);
+  }
+  state.SetItemsProcessed(state.iterations() * 10);
+}
+BENCHMARK(BM_NoFitScanSoAParallel)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
+
+// Parallel-for dispatch overhead: per-index (one type-erased call per
+// element) vs. chunked ranges (one call per grain-sized chunk). The body is
+// deliberately trivial so the dispatch cost dominates; on a single-core host
+// both run their sequential fallbacks, which still isolates the per-index
+// call overhead the chunked overload removes.
+void BM_ParallelForPerIndex(benchmark::State& state) {
+  const auto n = static_cast<size_t>(state.range(0));
+  std::vector<double> out(n, 0.0);
+  for (auto _ : state) {
+    ParallelFor(
+        n, [&](size_t i) { out[i] += 1.0; }, /*max_threads=*/1);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(n));
+}
+BENCHMARK(BM_ParallelForPerIndex)->Arg(1 << 10)->Arg(1 << 16);
+
+void BM_ParallelForRangesChunked(benchmark::State& state) {
+  const auto n = static_cast<size_t>(state.range(0));
+  std::vector<double> out(n, 0.0);
+  for (auto _ : state) {
+    ParallelForRanges(
+        n, /*grain=*/1024,
+        [&](size_t begin, size_t end) {
+          for (size_t i = begin; i < end; ++i) {
+            out[i] += 1.0;
+          }
+        },
+        /*max_threads=*/1);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(n));
+}
+BENCHMARK(BM_ParallelForRangesChunked)->Arg(1 << 10)->Arg(1 << 16);
 
 // Fills a cell to roughly `percent` CPU utilization with task-sized
 // allocations (random first fit, mirroring BM_PlacerAtUtilization's fill).

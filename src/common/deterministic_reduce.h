@@ -1,0 +1,93 @@
+// Deterministic ordered map-reduce over index ranges (DESIGN.md §12).
+//
+// The placement hot paths are sequential scans over machine ids with two
+// reduction shapes:
+//
+//   FirstMatch — "lowest index satisfying a predicate" (RandomizedFirstFit
+//     phase-2 sweep, ScoringPlacer full-scan fallback);
+//   ArgBest — "index with the strictly greatest score, earliest index wins
+//     ties" (ScoringPlacer candidate sampling).
+//
+// Both are order-insensitive to *evaluation* (each index's verdict/score
+// depends only on shared read-only state) but order-sensitive in their
+// *selection*. DeterministicReducer shards [0, n) into fixed contiguous
+// ranges, evaluates shards concurrently on a WorkerPool, and merges per-shard
+// results in ascending shard order on the calling thread. Because shard
+// boundaries are a partition of the index space and the merge visits shards
+// in index order with the same comparison the sequential scan uses (first
+// hit; strictly-greater-wins), the reduced result is bit-identical to the
+// sequential scan for every shard layout and thread count.
+//
+// Floating-point note: no FP value is ever *combined* across threads — each
+// score is computed independently for one index by one thread from the same
+// inputs the sequential scan would use, and the merge only compares. Scores
+// must not be NaN (comparisons against NaN would make "strictly greater"
+// order-dependent).
+//
+// Per-shard scratch lives in member vectors that are reused across calls, so
+// steady-state reductions do not allocate.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+#include "src/common/worker_pool.h"
+
+namespace omega {
+
+// Sentinel for "no index selected".
+inline constexpr size_t kReduceNotFound = static_cast<size_t>(-1);
+
+// Shard size for an n-element scan on `concurrency` lanes: ~4 shards per lane
+// for load balancing, but never smaller than min_grain so per-shard dispatch
+// overhead stays amortized (and small inputs fall back to one shard, i.e.
+// the plain sequential scan).
+inline size_t ReduceGrain(size_t n, size_t concurrency,
+                          size_t min_grain = 64) {
+  if (concurrency == 0) {
+    concurrency = 1;
+  }
+  const size_t target_shards = concurrency * 4;
+  return std::max(min_grain, (n + target_shards - 1) / target_shards);
+}
+
+class DeterministicReducer {
+ public:
+  // scan(begin, end) must return the lowest index in [begin, end) that
+  // matches, or kReduceNotFound — i.e. it must be the sequential scan
+  // restricted to a subrange. (Values in a different monotone index space are
+  // fine as long as a hit in an earlier range never compares "later" than a
+  // hit in a later range.)
+  using ScanFn = std::function<size_t(size_t begin, size_t end)>;
+
+  struct Best {
+    size_t index = kReduceNotFound;
+    double score = 0.0;
+  };
+  // scan(begin, end) must return the argmax over [begin, end) under
+  // "strictly greater score wins, earliest index wins ties", with
+  // index == kReduceNotFound when no index in the range is eligible —
+  // again the sequential scan restricted to a subrange.
+  using BestFn = std::function<Best(size_t begin, size_t end)>;
+
+  // Lowest matching index in [0, n), or kReduceNotFound. Shards later than
+  // the earliest known hit are skipped opportunistically (a relaxed atomic
+  // bound); skipped shards can never win the ordered merge, so the early
+  // exit does not affect the result.
+  size_t FirstMatch(WorkerPool* pool, size_t n, size_t grain,
+                    const ScanFn& scan);
+
+  // Global argmax under the contract above. No early exit: every shard's
+  // local best is computed, then merged in shard order with a strict
+  // greater-than, so ties resolve to the earliest index exactly as the
+  // sequential scan would.
+  Best ArgBest(WorkerPool* pool, size_t n, size_t grain, const BestFn& scan);
+
+ private:
+  std::vector<size_t> shard_hit_;
+  std::vector<Best> shard_best_;
+};
+
+}  // namespace omega

@@ -4,7 +4,8 @@
 #include <cstdlib>
 #include <fstream>
 #include <sstream>
-#include <thread>
+// Thread-count *reporting* only; all dispatch goes through ParallelForRanges.
+#include <thread>  // omega-lint: allow(det-parallel-reduce)
 
 #include "src/common/json.h"
 #include "src/exp/experiment.h"
@@ -58,6 +59,7 @@ std::string SweepReport::ToJson() const {
   AppendString(os, build_type);
   os << ",\n  \"base_seed\": " << base_seed;
   os << ",\n  \"threads\": " << threads;
+  os << ",\n  \"intra_trial_threads\": " << intra_trial_threads;
   os << ",\n  \"trials\": " << trials;
   os << ",\n  \"wall_seconds\": ";
   AppendNumber(os, wall_seconds);
@@ -136,6 +138,7 @@ void SweepRunner::Begin(size_t num_trials) {
   report_.wall_seconds = 0.0;
   size_t threads = max_threads_;
   if (threads == 0) {
+    // omega-lint: allow(det-parallel-reduce) — reporting, not dispatch
     threads = std::max<size_t>(1, std::thread::hardware_concurrency());
   }
   report_.threads = std::min(threads, std::max<size_t>(1, num_trials));

@@ -46,6 +46,10 @@ struct SweepReport {
   std::string build_type = "unknown";
   uint64_t base_seed = 0;
   size_t threads = 0;                 // worker threads actually used
+  // SimOptions::intra_trial_threads the bench ran its trials with (1 =
+  // sequential trials). Recorded so a scaling curve is reconstructable from
+  // BENCH_*.json artifacts alone; results are bit-identical at any value.
+  size_t intra_trial_threads = 1;
   size_t trials = 0;
   double wall_seconds = 0.0;          // elapsed wall-clock for the whole sweep
   std::vector<double> trial_wall_seconds;  // per trial, trial-index order
@@ -91,17 +95,22 @@ class SweepRunner {
     Begin(num_trials);
     std::vector<Result> results(num_trials);
     const auto sweep_start = std::chrono::steady_clock::now();
-    ParallelFor(
-        num_trials,
-        [&](size_t i) {
-          const auto trial_start = std::chrono::steady_clock::now();
-          TrialContext ctx;
-          ctx.index = i;
-          ctx.base_seed = report_.base_seed;
-          ctx.seed = SubstreamSeed(report_.base_seed, i);
-          results[i] = fn(static_cast<const TrialContext&>(ctx));
-          report_.trial_wall_seconds[i] =
-              Elapsed(trial_start, std::chrono::steady_clock::now());
+    // Chunked dispatch with grain 1: trials are coarse, so the chunk loop is
+    // degenerate, but routing through ParallelForRanges keeps the sweep
+    // engine on the same dispatch path the micro benches characterize.
+    ParallelForRanges(
+        num_trials, /*grain=*/1,
+        [&](size_t begin, size_t end) {
+          for (size_t i = begin; i < end; ++i) {
+            const auto trial_start = std::chrono::steady_clock::now();
+            TrialContext ctx;
+            ctx.index = i;
+            ctx.base_seed = report_.base_seed;
+            ctx.seed = SubstreamSeed(report_.base_seed, i);
+            results[i] = fn(static_cast<const TrialContext&>(ctx));
+            report_.trial_wall_seconds[i] =
+                Elapsed(trial_start, std::chrono::steady_clock::now());
+          }
         },
         max_threads_);
     report_.wall_seconds =

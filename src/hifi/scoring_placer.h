@@ -37,6 +37,14 @@ class ScoringPlacer final : public TaskPlacer {
  private:
   ScoringPlacerOptions options_;
   PendingClaims pending_scratch_;
+  // Failure domains the current job already occupies — dense epoch-stamped
+  // scratch (domains are small dense ints), replacing the former
+  // unordered_set so the scoring hot path does no hashing.
+  EpochFlagSet domains_scratch_;
+  // Sharded sampling/full-scan scratch, engaged when the cell carries an
+  // intra-trial worker pool (DESIGN.md §12).
+  DeterministicReducer reducer_;
+  std::vector<MachineId> sample_scratch_;
 };
 
 }  // namespace omega

@@ -27,6 +27,8 @@ ClusterSimulation::ClusterSimulation(const ClusterConfig& config,
   // application in the cell and the shared-end-event lifecycle here.
   cell_.SetBatchedCommit(options.cohort_batching);
   cell_.SetSoAScan(options.soa_cell);
+  cell_.SetIntraTrialParallelism(options.intra_trial_threads);
+  cell_.SetParallelCommitMinClaims(options.parallel_commit_min_claims);
   if (generator_options.generate_constraints) {
     MachineAttributeAssignment assignment;
     assignment.num_attribute_keys = generator_options.num_attribute_keys;

@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "src/cluster/cell_state.h"
+#include "src/common/deterministic_reduce.h"
 #include "src/common/random.h"
 #include "src/workload/job.h"
 
@@ -90,6 +91,43 @@ class PendingClaims {
   uint32_t epoch_ = 1;
 };
 
+// Dense epoch-stamped set of small non-negative int keys (failure domains,
+// attribute ids): the same scratch pattern as PendingClaims, replacing a
+// hot-path unordered_set with an array probe. Reset() is O(1); the arrays
+// grow on demand; negative keys are never stored and never contained.
+// Contains() is const and touches no mutable state, so concurrent reads from
+// pool workers are safe.
+class EpochFlagSet {
+ public:
+  void Reset() {
+    ++epoch_;
+    if (epoch_ == 0) {  // epoch wrapped: stale stamps could collide
+      std::fill(stamp_.begin(), stamp_.end(), 0u);
+      epoch_ = 1;
+    }
+  }
+
+  void Insert(int32_t key) {
+    if (key < 0) {
+      return;
+    }
+    const auto k = static_cast<size_t>(key);
+    if (k >= stamp_.size()) {
+      stamp_.resize(k + 1, 0u);
+    }
+    stamp_[k] = epoch_;
+  }
+
+  bool Contains(int32_t key) const {
+    return key >= 0 && static_cast<size_t>(key) < stamp_.size() &&
+           stamp_[static_cast<size_t>(key)] == epoch_;
+  }
+
+ private:
+  std::vector<uint32_t> stamp_;
+  uint32_t epoch_ = 1;
+};
+
 // Randomized first fit: probe machines uniformly at random; fall back to a
 // linear scan from a random offset so that a fit is found whenever one exists.
 // Ignores placement constraints (lightweight simulator semantics, Table 2).
@@ -111,6 +149,9 @@ class RandomizedFirstFitPlacer final : public TaskPlacer {
   bool respect_constraints_;
   MachineRange range_;
   PendingClaims pending_scratch_;
+  // Sharded phase-2 sweep scratch, engaged when the cell carries an
+  // intra-trial worker pool (DESIGN.md §12).
+  DeterministicReducer reducer_;
 };
 
 }  // namespace omega

@@ -1,0 +1,231 @@
+// Intra-trial parallelism differential tests (DESIGN.md §12).
+//
+// SimOptions::intra_trial_threads shards the placement scans and the Commit
+// conflict pre-check across a worker pool. The hard design constraint is the
+// same as the SoA core's (soa_diff_test.cc): at any thread count, every
+// simulation must produce exactly the same cell state, metrics, and trace
+// event stream as the sequential run — parallelism is a pure wall-clock
+// optimization with zero observable effect. The tests here run every
+// architecture at 1, 2, and 8 threads and compare fingerprints bitwise, and
+// re-run a small fig5 grid at 1 and 2 threads.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "bench/fig56_sweep.h"
+#include "src/cluster/cell_state.h"
+#include "src/hifi/hifi_simulation.h"
+#include "src/mapreduce/mr_scheduler.h"
+#include "src/mapreduce/policy.h"
+#include "src/mesos/mesos_simulation.h"
+#include "src/omega/omega_scheduler.h"
+#include "src/scheduler/cluster_simulation.h"
+#include "src/scheduler/monolithic.h"
+#include "src/trace/trace_recorder.h"
+#include "src/workload/cluster_config.h"
+
+namespace omega {
+namespace {
+
+struct SimFingerprint {
+  std::vector<uint64_t> seqnums;
+  std::vector<double> allocated;  // cpus, mem per machine, exact
+  double total_cpus = 0.0;
+  double total_mem = 0.0;
+  int64_t submitted = 0;
+  int64_t preempted = 0;
+  int64_t failures = 0;
+  int64_t killed = 0;
+  std::vector<TraceEvent> events;
+  std::vector<int64_t> event_counts;
+};
+
+SimFingerprint Fingerprint(const ClusterSimulation& sim,
+                           const TraceRecorder& trace) {
+  SimFingerprint fp;
+  const CellState& cell = sim.cell();
+  for (MachineId m = 0; m < cell.NumMachines(); ++m) {
+    fp.seqnums.push_back(cell.machine(m).seqnum);
+    fp.allocated.push_back(cell.machine(m).allocated.cpus);
+    fp.allocated.push_back(cell.machine(m).allocated.mem_gb);
+  }
+  fp.total_cpus = cell.TotalAllocated().cpus;
+  fp.total_mem = cell.TotalAllocated().mem_gb;
+  fp.submitted = sim.JobsSubmittedTotal();
+  fp.preempted = sim.TasksPreempted();
+  fp.failures = sim.MachineFailures();
+  fp.killed = sim.TasksKilledByFailures();
+  trace.ForEachRetained(
+      [&fp](const TraceEvent& e) { fp.events.push_back(e); });
+  for (size_t t = 0; t < kNumTraceEventTypes; ++t) {
+    fp.event_counts.push_back(trace.CountOf(static_cast<TraceEventType>(t)));
+    fp.event_counts.push_back(trace.SumArg0(static_cast<TraceEventType>(t)));
+  }
+  return fp;
+}
+
+void ExpectIdentical(const SimFingerprint& par, const SimFingerprint& seq,
+                     uint32_t threads) {
+  EXPECT_EQ(par.seqnums, seq.seqnums) << "threads=" << threads;
+  EXPECT_EQ(par.allocated, seq.allocated) << "threads=" << threads;
+  EXPECT_EQ(par.total_cpus, seq.total_cpus) << "threads=" << threads;
+  EXPECT_EQ(par.total_mem, seq.total_mem) << "threads=" << threads;
+  EXPECT_EQ(par.submitted, seq.submitted) << "threads=" << threads;
+  EXPECT_EQ(par.preempted, seq.preempted) << "threads=" << threads;
+  EXPECT_EQ(par.failures, seq.failures) << "threads=" << threads;
+  EXPECT_EQ(par.killed, seq.killed) << "threads=" << threads;
+  EXPECT_EQ(par.event_counts, seq.event_counts) << "threads=" << threads;
+  ASSERT_EQ(par.events.size(), seq.events.size()) << "threads=" << threads;
+  for (size_t i = 0; i < par.events.size(); ++i) {
+    const TraceEvent& a = par.events[i];
+    const TraceEvent& b = seq.events[i];
+    ASSERT_TRUE(a.time_us == b.time_us && a.type == b.type &&
+                a.track == b.track && a.job == b.job &&
+                a.machine == b.machine && a.seqnum == b.seqnum &&
+                a.arg0 == b.arg0 && a.arg1 == b.arg1)
+        << "threads=" << threads << ": trace streams diverge at event " << i;
+  }
+}
+
+// Runs `make_and_run(options, trace)` at 1 thread (the reference), then at 2
+// and 8, and asserts bitwise-identical outcomes at every thread count.
+template <typename MakeAndRun>
+void DiffThreadCounts(SimOptions options, MakeAndRun&& make_and_run) {
+  options.intra_trial_threads = 1;
+  TraceRecorder trace_seq;
+  const SimFingerprint seq = make_and_run(options, trace_seq);
+  for (uint32_t threads : {2u, 8u}) {
+    options.intra_trial_threads = threads;
+    TraceRecorder trace_par;
+    const SimFingerprint par = make_and_run(options, trace_par);
+    ExpectIdentical(par, seq, threads);
+  }
+}
+
+SimOptions DiffRun(uint64_t seed, double hours = 2.0) {
+  SimOptions o;
+  o.horizon = Duration::FromHours(hours);
+  o.seed = seed;
+  // The production default (256) keeps typical transactions inline; lower it
+  // so these workloads' multi-task commits actually take the parallel
+  // pre-check branch at 2 and 8 threads.
+  o.parallel_commit_min_claims = 8;
+  return o;
+}
+
+TEST(IntraTrialDiffTest, MonolithicBitIdentical) {
+  DiffThreadCounts(DiffRun(1), [](const SimOptions& o, TraceRecorder& t) {
+    MonolithicSimulation sim(TestCluster(256), o, SchedulerConfig{});
+    sim.SetTraceRecorder(&t);
+    sim.Run();
+    EXPECT_TRUE(sim.cell().CheckInvariants());
+    return Fingerprint(sim, t);
+  });
+}
+
+TEST(IntraTrialDiffTest, OmegaMultiSchedulerBitIdentical) {
+  // Three schedulers commit against the shared cell: the parallel Commit
+  // pre-check must accept/reject exactly the claims the sequential verdict
+  // loop would, in the same order, or retries diverge immediately.
+  DiffThreadCounts(DiffRun(2), [](const SimOptions& o, TraceRecorder& t) {
+    OmegaSimulation sim(TestCluster(256), o, SchedulerConfig{},
+                        SchedulerConfig{}, 3);
+    sim.SetTraceRecorder(&t);
+    sim.Run();
+    EXPECT_TRUE(sim.cell().CheckInvariants());
+    return Fingerprint(sim, t);
+  });
+}
+
+TEST(IntraTrialDiffTest, OmegaGangSchedulingBitIdentical) {
+  // All-or-nothing commits with coarse-grained detection: the highest
+  // conflict pressure on the pre-check path.
+  SchedulerConfig gang;
+  gang.commit_mode = CommitMode::kAllOrNothing;
+  gang.conflict_mode = ConflictMode::kCoarseGrained;
+  DiffThreadCounts(DiffRun(3), [&gang](const SimOptions& o, TraceRecorder& t) {
+    OmegaSimulation sim(TestCluster(256), o, gang, gang, 3);
+    sim.SetTraceRecorder(&t);
+    sim.Run();
+    EXPECT_TRUE(sim.cell().CheckInvariants());
+    return Fingerprint(sim, t);
+  });
+}
+
+TEST(IntraTrialDiffTest, MesosFrameworksBitIdentical) {
+  DiffThreadCounts(DiffRun(4), [](const SimOptions& o, TraceRecorder& t) {
+    MesosSimulation sim(TestCluster(256), o, SchedulerConfig{},
+                        SchedulerConfig{});
+    sim.SetTraceRecorder(&t);
+    sim.Run();
+    EXPECT_TRUE(sim.cell().CheckInvariants());
+    return Fingerprint(sim, t);
+  });
+}
+
+TEST(IntraTrialDiffTest, MapReduceBitIdentical) {
+  ClusterConfig cfg = TestCluster(256);
+  cfg.mapreduce_fraction = 0.3;
+  MapReducePolicyOptions policy;
+  policy.policy = MapReducePolicy::kMaxParallelism;
+  DiffThreadCounts(DiffRun(5), [&](const SimOptions& o, TraceRecorder& t) {
+    MapReduceSimulation sim(cfg, o, SchedulerConfig{}, SchedulerConfig{},
+                            policy);
+    sim.SetTraceRecorder(&t);
+    sim.Run();
+    EXPECT_TRUE(sim.cell().CheckInvariants());
+    return Fingerprint(sim, t);
+  });
+}
+
+TEST(IntraTrialDiffTest, HifiReplayBitIdentical) {
+  // The high-fidelity path exercises the ScoringPlacer: the sharded
+  // candidate-sampling ArgBest and (on the non-index fallback) the sharded
+  // first-fit scan must reproduce the sequential scores and tie-breaks.
+  const ClusterConfig cfg = TestCluster(256);
+  const std::vector<Job> trace_jobs =
+      GenerateHifiTrace(cfg, Duration::FromHours(2), 6);
+  DiffThreadCounts(DiffRun(6), [&](const SimOptions& o, TraceRecorder& t) {
+    auto sim = MakeHifiSimulation(cfg, o, SchedulerConfig{}, SchedulerConfig{});
+    sim->SetTraceRecorder(&t);
+    sim->RunTrace(trace_jobs);
+    EXPECT_TRUE(sim->cell().CheckInvariants());
+    return Fingerprint(*sim, t);
+  });
+}
+
+// ---------------------------------------------------------------------------
+// A small fig5 grid re-run at 1 and 2 intra-trial threads: every reported
+// figure metric must match bitwise (the same property the bench golden
+// checks pin in CI at OMEGA_INTRA_TRIAL_THREADS=2).
+// ---------------------------------------------------------------------------
+
+TEST(IntraTrialDiffTest, Fig5SweepBitIdenticalAcrossThreadCounts) {
+  const Duration horizon = Duration::FromDays(0.004);
+  SimOptions seq;
+  seq.intra_trial_threads = 1;
+  SimOptions par;
+  par.intra_trial_threads = 2;
+  SweepRunner runner_seq("test_fig5_intra_seq", kFig56BaseSeed, 1);
+  const auto a = RunFig56Sweep(horizon, runner_seq, /*tjob_points=*/3, seq);
+  SweepRunner runner_par("test_fig5_intra_par", kFig56BaseSeed, 1);
+  const auto b = RunFig56Sweep(horizon, runner_par, /*tjob_points=*/3, par);
+  ASSERT_EQ(a.size(), 27u);
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].arch, b[i].arch) << "trial " << i;
+    EXPECT_EQ(a[i].cluster, b[i].cluster) << "trial " << i;
+    EXPECT_EQ(a[i].t_job_secs, b[i].t_job_secs) << "trial " << i;
+    EXPECT_EQ(a[i].batch_wait, b[i].batch_wait) << "trial " << i;
+    EXPECT_EQ(a[i].service_wait, b[i].service_wait) << "trial " << i;
+    EXPECT_EQ(a[i].batch_busy, b[i].batch_busy) << "trial " << i;
+    EXPECT_EQ(a[i].batch_busy_mad, b[i].batch_busy_mad) << "trial " << i;
+    EXPECT_EQ(a[i].service_busy, b[i].service_busy) << "trial " << i;
+    EXPECT_EQ(a[i].service_busy_mad, b[i].service_busy_mad) << "trial " << i;
+    EXPECT_EQ(a[i].abandoned, b[i].abandoned) << "trial " << i;
+  }
+}
+
+}  // namespace
+}  // namespace omega

@@ -1,0 +1,20 @@
+// Positive fixture: raw concurrency primitives in simulator code. Every
+// line marked `hit` is one det-parallel-reduce finding (8 total).
+#include <thread>  // hit: the include line tokenizes to `thread`
+#include <mutex>   // hit
+#include <atomic>  // hit
+
+namespace fx {
+
+std::mutex g_mu;                 // hit
+std::atomic<int> g_count{0};     // hit
+thread_local int g_scratch = 0;  // hit
+
+void Run() {
+  std::thread t([] {});        // hit
+  std::condition_variable cv;  // hit
+  t.join();
+  (void)cv;
+}
+
+}  // namespace fx

@@ -1,0 +1,17 @@
+// Negative fixture: member accesses, comments, and string literals that
+// merely mention primitive names are not findings.
+namespace fx {
+
+struct Pool {
+  int lanes = 0;
+};
+
+// std::thread in a comment is not scanned.
+int Use(const Pool& p, Pool* q) {
+  const char* s = "std::mutex in a string is not scanned";
+  (void)s;
+  // `p.thread` / `q->mutex` are the caller's own members, not the std types.
+  return p.thread + q->mutex + p.lanes;
+}
+
+}  // namespace fx

@@ -1,0 +1,9 @@
+// Suppression fixture: both allow() forms silence det-parallel-reduce.
+#include <thread>  // omega-lint: allow(det-parallel-reduce)
+
+namespace fx {
+
+// omega-lint: allow(det-parallel-reduce) — mirrors sanctioned pool internals
+void SpawnSuppressed() { std::thread t([] {}); t.join(); }
+
+}  // namespace fx

@@ -1,0 +1,11 @@
+// tools/ is outside parallel_scope: direct primitive use is allowed there.
+#include <thread>
+
+namespace fx {
+
+void Par() {
+  std::thread t([] {});
+  t.join();
+}
+
+}  // namespace fx

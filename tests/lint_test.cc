@@ -107,6 +107,29 @@ TEST(LintUnorderedIteration, TestsDirectoryIsOutOfScope) {
   EXPECT_EQ(CountFile(findings, "tests/iter_in_tests_ok.cc"), 0);
 }
 
+TEST(LintParallel, FlagsRawPrimitivesInSimulatorCode) {
+  const auto findings = RunOn("parallel");
+  // 3 include lines + mutex/atomic/thread_local decls + thread + cv.
+  EXPECT_EQ(CountRule(findings, "det-parallel-reduce"), 8);
+  EXPECT_EQ(CountFile(findings, "src/bad_parallel.cc"), 8);
+}
+
+TEST(LintParallel, MemberAccessCommentsAndStringsAreClean) {
+  const auto findings = RunOn("parallel");
+  EXPECT_EQ(CountFile(findings, "src/clean_parallel.cc"), 0);
+}
+
+TEST(LintParallel, SuppressionsSilenceTheRule) {
+  const auto findings = RunOn("parallel");
+  EXPECT_EQ(CountFile(findings, "src/suppressed_parallel.cc"), 0);
+}
+
+TEST(LintParallel, CommonWrappersAndToolsAreExempt) {
+  const auto findings = RunOn("parallel");
+  EXPECT_EQ(CountFile(findings, "src/common/pool_impl.cc"), 0);
+  EXPECT_EQ(CountFile(findings, "tools/tool_thread_ok.cc"), 0);
+}
+
 TEST(LintLayering, RejectsSeededUpwardInclude) {
   const auto findings = RunOn("layers", /*with_layers=*/true);
   EXPECT_EQ(CountRule(findings, "layer-order"), 1);
@@ -195,6 +218,7 @@ TEST(LintCatalogue, EveryRuleIdHasFixtureCoverage) {
   std::set<std::string> seen;
   for (const auto& f : RunOn("det")) seen.insert(f.rule);
   for (const auto& f : RunOn("unordered")) seen.insert(f.rule);
+  for (const auto& f : RunOn("parallel")) seen.insert(f.rule);
   for (const auto& f : RunOn("layers", true)) seen.insert(f.rule);
   for (const auto& f : RunOn("cycle", true)) seen.insert(f.rule);
   for (const auto& f : RunOn("hygiene")) seen.insert(f.rule);

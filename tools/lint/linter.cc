@@ -135,6 +135,27 @@ const std::set<std::string>& TimeMacroNames() {
   return names;
 }
 
+// Raw concurrency identifiers banned in simulator code outside src/common/
+// (det-parallel-reduce). Matched as bare identifiers so both std:: uses and
+// the <thread>/<mutex>/<atomic> include lines (whose header names tokenize
+// to the same words) are caught.
+const std::set<std::string>& ParallelPrimitiveNames() {
+  static const std::set<std::string> names = {
+      "thread",         "jthread",
+      "mutex",          "shared_mutex",
+      "recursive_mutex", "timed_mutex",
+      "condition_variable", "condition_variable_any",
+      "atomic",         "atomic_flag",
+      "atomic_ref",     "future",
+      "promise",        "packaged_task",
+      "async",          "counting_semaphore",
+      "binary_semaphore", "barrier",
+      "latch",          "call_once",
+      "once_flag",      "thread_local",
+      "stop_token",     "stop_source"};
+  return names;
+}
+
 // True if tokens[idx] is reached through a member access (`.x` / `->x`),
 // meaning it names the caller's own member, not the banned global.
 bool IsMemberAccess(const std::vector<Token>& tokens, size_t idx) {
@@ -192,6 +213,7 @@ const std::vector<std::string>& AllRuleIds() {
       "det-wallclock",
       "det-time-macro",
       "det-unordered-iter",
+      "det-parallel-reduce",
       "layer-order",
       "layer-cycle",
       "hygiene-pragma-once",
@@ -569,6 +591,10 @@ void Linter::LintFile(const FileData& f) {
       !DetExempt(f.rel_path)) {
     CheckUnorderedIteration(f);
   }
+  if (InScope(f.rel_path, config_.parallel_scope) &&
+      !InScope(f.rel_path, config_.parallel_exempt_prefixes)) {
+    CheckParallelPrimitives(f);
+  }
   CheckHeaderHygiene(f);
   CheckLayerOrder(f);
 }
@@ -610,6 +636,28 @@ void Linter::CheckBannedIdentifiers(const FileData& f) {
                  t.text + " bakes build time into the binary, breaking "
                           "reproducible builds and run provenance");
     }
+  }
+}
+
+// Flags raw concurrency primitives (std::thread, std::mutex, std::atomic,
+// ...) in simulator code outside the sanctioned src/common/ wrappers. Thread
+// timing must never order results — all parallelism goes through ParallelFor
+// / WorkerPool / DeterministicReducer, whose ordered merges keep outputs
+// bit-identical at any thread count (DESIGN.md §12). Member accesses are
+// skipped so a field named `mutex` on a project type is not a finding.
+void Linter::CheckParallelPrimitives(const FileData& f) {
+  const std::vector<Token> tokens = Tokenize(f.code_nostrings);
+  for (size_t i = 0; i < tokens.size(); ++i) {
+    const Token& t = tokens[i];
+    if (!t.ident || IsMemberAccess(tokens, i) ||
+        !ParallelPrimitiveNames().count(t.text)) {
+      continue;
+    }
+    AddFinding(f, LineAt(f.line_offsets, t.offset), "det-parallel-reduce",
+               "raw concurrency primitive `" + t.text +
+                   "` in simulator code: thread timing must not order "
+                   "results; use ParallelFor / WorkerPool / "
+                   "DeterministicReducer from src/common/ (DESIGN.md §12)");
   }
 }
 

@@ -21,6 +21,7 @@
 //   det-wallclock         time()/clock()/system_clock/high_resolution_clock
 //   det-time-macro        __DATE__/__TIME__/__TIMESTAMP__
 //   det-unordered-iter    iteration over std::unordered_{map,set,...}
+//   det-parallel-reduce   raw concurrency primitives outside src/common/
 //   layer-order           #include pointing to a higher-ranked layer
 //   layer-cycle           cycle in the project #include graph
 //   hygiene-pragma-once   header without #pragma once
@@ -79,6 +80,16 @@ struct Config {
   // Files exempt from all determinism rules: the one blessed entropy wrapper.
   std::vector<std::string> det_exempt_files = {"src/common/random.h",
                                                "src/common/random.cc"};
+
+  // Scope of det-parallel-reduce: simulator code. Raw concurrency primitives
+  // (std::thread, std::mutex, std::atomic, ...) in scheduler/placement logic
+  // can order results by thread timing, breaking the bit-identical-at-any-
+  // thread-count guarantee; all parallelism must go through the sanctioned
+  // wrappers — ParallelFor / WorkerPool / DeterministicReducer — which live
+  // under the exempt prefixes below (DESIGN.md §12). Tests and tools may use
+  // primitives directly.
+  std::vector<std::string> parallel_scope = {"src/"};
+  std::vector<std::string> parallel_exempt_prefixes = {"src/common/"};
 };
 
 // Parses a layers.conf file into config->layers. Format, one layer per line:
@@ -120,6 +131,7 @@ class Linter {
   void CollectUnorderedDecls(const FileData& f);
   void LintFile(const FileData& f);
   void CheckBannedIdentifiers(const FileData& f);
+  void CheckParallelPrimitives(const FileData& f);
   void CheckUnorderedIteration(const FileData& f);
   void CheckHeaderHygiene(const FileData& f);
   void CheckNonConstGlobals(const FileData& f);
