@@ -54,6 +54,12 @@ class Duration {
   constexpr explicit Duration(int64_t micros) : micros_(micros) {}
 
   static constexpr Duration Zero() { return Duration(0); }
+  // Sentinel for "effectively never" delays (e.g. gossip that is published
+  // but never delivered); callers must test for it rather than add it to a
+  // SimTime, which would overflow.
+  static constexpr Duration Max() {
+    return Duration(std::numeric_limits<int64_t>::max());
+  }
   static constexpr Duration FromSeconds(double seconds) {
     return Duration(static_cast<int64_t>(seconds * 1e6));
   }

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 #include <cmath>
+#include <limits>
 #include <sstream>
 
 namespace omega {
@@ -51,7 +52,10 @@ double RunningStats::stddev() const { return std::sqrt(variance()); }
 
 double Percentile(std::vector<double> values, double q) {
   if (values.empty()) {
-    return 0.0;
+    // NaN, not 0.0: an empty sample is not a sample of zeros. JSON emitters
+    // render non-finite values as null (json::AppendNumber), so the report
+    // distinguishes "no data" from a true zero.
+    return std::numeric_limits<double>::quiet_NaN();
   }
   q = std::clamp(q, 0.0, 1.0);
   std::sort(values.begin(), values.end());
@@ -66,7 +70,7 @@ double Median(std::vector<double> values) { return Percentile(std::move(values),
 
 double MedianAbsoluteDeviation(std::vector<double> values) {
   if (values.empty()) {
-    return 0.0;
+    return std::numeric_limits<double>::quiet_NaN();
   }
   const double med = Median(values);
   for (double& v : values) {
@@ -142,7 +146,7 @@ double Cdf::FractionAtOrBelow(double x) const {
 
 double Cdf::Quantile(double q) const {
   if (total_ == 0) {
-    return 0.0;
+    return std::numeric_limits<double>::quiet_NaN();
   }
   EnsureSorted();
   // Same linear interpolation between order statistics as Percentile().

@@ -38,14 +38,15 @@ class RunningStats {
 };
 
 // Exact percentile of a sample set (linear interpolation between order
-// statistics). `q` in [0, 1]. Returns 0 for an empty sample.
+// statistics). `q` in [0, 1]. Returns NaN for an empty sample — "no data" is
+// not a zero, and json::AppendNumber renders NaN as null in reports.
 double Percentile(std::vector<double> values, double q);
 
-// Median (50th percentile).
+// Median (50th percentile). NaN for an empty sample.
 double Median(std::vector<double> values);
 
 // Median absolute deviation from the median: a robust dispersion estimator,
-// used for the error bars in Figures 6-9.
+// used for the error bars in Figures 6-9. NaN for an empty sample.
 double MedianAbsoluteDeviation(std::vector<double> values);
 
 // An empirical cumulative distribution function over collected samples.
@@ -65,7 +66,7 @@ class Cdf {
 
   // Fraction of samples <= x.
   double FractionAtOrBelow(double x) const;
-  // Value at quantile q in [0, 1].
+  // Value at quantile q in [0, 1]. NaN when the CDF holds no samples.
   double Quantile(double q) const;
 
   double MinValue() const;

@@ -21,7 +21,10 @@ void MesosFramework::Submit(const JobPtr& job) {
 uint16_t MesosFramework::TraceTrack() {
   if (trace_track_ < 0) {
     TraceRecorder* trace = sim_.trace();
-    trace_track_ = trace ? trace->RegisterTrack(config_.name) : 0;
+    // The cell's trace scope keeps same-named frameworks in different cells
+    // on distinct Perfetto tracks (empty for single-cell runs).
+    trace_track_ =
+        trace ? trace->RegisterTrack(sim_.trace_scope() + config_.name) : 0;
   }
   return static_cast<uint16_t>(trace_track_);
 }
@@ -77,12 +80,28 @@ void MesosFramework::HandleOffer(ResourceOffer offer) {
 
 void MesosFramework::FinishAttempt(const JobPtr& job, ResourceOffer offer,
                                    std::vector<TaskClaim> claims) {
-  // Commit the placed tasks. These cannot conflict: the offered resources were
-  // locked (pessimistic concurrency).
-  const CommitResult result = sim_.cell().Commit(
-      claims, ConflictMode::kFineGrained, CommitMode::kIncremental);
-  OMEGA_CHECK(result.conflicted == 0)
-      << "offer-locked resources must commit cleanly";
+  // Commit the placed tasks. Offer-locked resources commit cleanly under
+  // pessimistic concurrency, with one exception: a machine that failed while
+  // the offer was outstanding. The downtime reservation consumes the offered
+  // headroom, so the tasks placed there reject — they are lost, exactly like
+  // tasks launched onto a dead slave in the real system. Any rejection on a
+  // healthy machine would be a genuine offer-lifecycle bug.
+  std::vector<TaskClaim> rejected;
+  const CommitResult result =
+      sim_.cell().Commit(claims, ConflictMode::kFineGrained,
+                         CommitMode::kIncremental, &rejected);
+  for (const TaskClaim& loss : rejected) {
+    OMEGA_CHECK(sim_.MachineIsDown(loss.machine))
+        << "offer-locked resources must commit cleanly";
+  }
+  if (!claims.empty()) {
+    // The locked share of a failed machine is spent either way, so debit the
+    // offer ledger for the full claim set before dropping the losses.
+    sim_.allocator().OnOfferResourcesUsed(claims);
+    if (!rejected.empty()) {
+      claims = ReconstructAcceptedClaims(claims, rejected, result.accepted);
+    }
+  }
   metrics_.RecordTransaction(result.accepted, 0);
   if (TraceRecorder* trace = sim_.trace()) {
     const SimTime when = sim_.sim().Now();
@@ -102,7 +121,6 @@ void MesosFramework::FinishAttempt(const JobPtr& job, ResourceOffer offer,
       job->TasksRemaining() == static_cast<uint32_t>(result.accepted);
   if (!claims.empty()) {
     sim_.allocator().OnResourcesAllocated(this, used);
-    sim_.allocator().OnOfferResourcesUsed(claims);
     if (gang_by_hoarding && !completes_job) {
       // Hoard: the resources stay allocated (and thus idle) until the whole
       // job can start together.
@@ -137,10 +155,12 @@ void MesosFramework::FinishAttempt(const JobPtr& job, ResourceOffer offer,
   if (job->FullyScheduled()) {
     metrics_.RecordJobScheduled(now, job->type, job->scheduling_attempts,
                                 job->conflicted_attempts);
+    sim_.OnJobFullyScheduled(job);
   } else if (job->scheduling_attempts >= config_.max_attempts) {
     job->abandoned = true;
     metrics_.RecordJobAbandoned(job->type);
     ReleaseHoard(job);  // break any hoarding deadlock
+    sim_.OnJobAbandoned(job);
   } else {
     // Keep trying: the job returns to the head of the queue and waits for the
     // next offer (§4.2: "It nonetheless keeps trying").

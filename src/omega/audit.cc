@@ -18,9 +18,16 @@ double OverallMeanWait(const SchedulerMetrics& m) {
   if (total == 0) {
     return 0.0;
   }
-  return (m.MeanWait(JobType::kBatch) * static_cast<double>(batch) +
-          m.MeanWait(JobType::kService) * static_cast<double>(service)) /
-         static_cast<double>(total);
+  // MeanWait is NaN for a type with no waited jobs; weight only the
+  // populated types so the NaN cannot poison the blend.
+  double weighted = 0.0;
+  if (batch > 0) {
+    weighted += m.MeanWait(JobType::kBatch) * static_cast<double>(batch);
+  }
+  if (service > 0) {
+    weighted += m.MeanWait(JobType::kService) * static_cast<double>(service);
+  }
+  return weighted / static_cast<double>(total);
 }
 
 }  // namespace

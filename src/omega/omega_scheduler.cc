@@ -167,8 +167,10 @@ double OmegaSimulation::MeanBatchWait() const {
   int64_t jobs = 0;
   for (const auto& s : batch_schedulers_) {
     const int64_t n = s->metrics().JobsWaited(JobType::kBatch);
-    weighted += s->metrics().MeanWait(JobType::kBatch) * static_cast<double>(n);
-    jobs += n;
+    if (n > 0) {  // MeanWait is NaN when no jobs waited; NaN * 0 poisons
+      weighted += s->metrics().MeanWait(JobType::kBatch) * static_cast<double>(n);
+      jobs += n;
+    }
   }
   return jobs > 0 ? weighted / static_cast<double>(jobs) : 0.0;
 }

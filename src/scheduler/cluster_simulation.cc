@@ -12,6 +12,8 @@ ClusterSimulation::ClusterSimulation(const ClusterConfig& config,
                                      GeneratorOptions generator_options)
     : config_(config),
       options_(options),
+      owned_sim_(std::make_unique<Simulator>()),
+      sim_(owned_sim_.get()),
       cell_(BuildMachineCapacities(config), options.fullness,
             options.headroom_fraction, config.machines_per_failure_domain),
       generator_(config,
@@ -67,14 +69,14 @@ void ClusterSimulation::PlaceInitialFill() {
       if (options_.track_running_tasks) {
         const uint64_t task_id =
             registry_.Add(m, task.resources, task.precedence, 0);
-        const EventId eid = sim_.ScheduleAt(end, [this, claim, task_id] {
+        const EventId eid = sim_->ScheduleAt(end, [this, claim, task_id] {
           registry_.Remove(task_id);
           cell_.Free(claim.machine, claim.resources);
           OnTaskFreed();
         });
         registry_.SetEndEvent(task_id, eid);
       } else {
-        sim_.ScheduleAt(end, [this, claim] {
+        sim_->ScheduleAt(end, [this, claim] {
           cell_.Free(claim.machine, claim.resources);
           OnTaskFreed();
         });
@@ -105,18 +107,13 @@ void ClusterSimulation::ScheduleNextArrival(JobType type) {
   }
   ExponentialDist interarrival(params.interarrival_mean_secs / multiplier);
   const Duration gap = Duration::FromSeconds(interarrival.Sample(rng_));
-  const SimTime when = sim_.Now() + gap;
+  const SimTime when = sim_->Now() + gap;
   if (when > EndTime()) {
     return;
   }
-  sim_.ScheduleAt(when, [this, type] {
-    auto job = std::make_shared<Job>(generator_.GenerateJob(type, sim_.Now()));
-    CountSubmission(type);
-    if (trace_ != nullptr) {
-      trace_->JobSubmit(sim_.Now(), job->id, job->type == JobType::kService,
-                        job->num_tasks);
-    }
-    SubmitJob(job);
+  sim_->ScheduleAt(when, [this, type] {
+    auto job = std::make_shared<Job>(generator_.GenerateJob(type, sim_->Now()));
+    InjectJob(job);
     ScheduleNextArrival(type);
   });
 }
@@ -129,8 +126,9 @@ void ClusterSimulation::SetTraceRecorder(TraceRecorder* recorder) {
   }
   cell_.SetCommitObserver(
       [this](std::span<const TaskClaim> claims, const CommitResult& result) {
-        trace_->CellCommit(sim_.Now(), static_cast<int64_t>(claims.size()),
-                           result.accepted, result.conflicted);
+        trace_->CellCommit(sim_->Now(), static_cast<int64_t>(claims.size()),
+                           result.accepted, result.conflicted,
+                           HarnessTraceTrack());
       });
 }
 
@@ -139,22 +137,71 @@ void ClusterSimulation::ScheduleUtilizationSample() {
     return;
   }
   utilization_series_.push_back(UtilizationSample{
-      sim_.Now().ToHours(), cell_.CpuUtilization(), cell_.MemUtilization()});
-  const SimTime next = sim_.Now() + options_.utilization_sample_interval;
+      sim_->Now().ToHours(), cell_.CpuUtilization(), cell_.MemUtilization()});
+  const SimTime next = sim_->Now() + options_.utilization_sample_interval;
   if (next > EndTime()) {
     return;
   }
-  sim_.ScheduleAt(next, [this] { ScheduleUtilizationSample(); });
+  sim_->ScheduleAt(next, [this] { ScheduleUtilizationSample(); });
 }
 
 void ClusterSimulation::Run() {
+  PrepareRun();
+  sim_->RunUntil(EndTime());
+}
+
+void ClusterSimulation::PrepareRun() {
   PlaceInitialFill();
   OnSimulationStart();
   ScheduleNextArrival(JobType::kBatch);
   ScheduleNextArrival(JobType::kService);
   ScheduleUtilizationSample();
   ScheduleNextMachineFailure();
-  sim_.RunUntil(EndTime());
+}
+
+void ClusterSimulation::UseSharedSimulator(Simulator* sim) {
+  OMEGA_CHECK(sim != nullptr);
+  OMEGA_CHECK(owned_sim_ == nullptr || owned_sim_->PendingEvents() == 0)
+      << "UseSharedSimulator must be called before any event is scheduled";
+  sim_ = sim;
+  owned_sim_.reset();
+}
+
+void ClusterSimulation::InjectJob(const JobPtr& job) {
+  CountSubmission(job->type);
+  if (trace_ != nullptr) {
+    trace_->JobSubmit(sim_->Now(), job->id, job->type == JobType::kService,
+                      job->num_tasks, HarnessTraceTrack());
+  }
+  SubmitJob(job);
+}
+
+uint16_t ClusterSimulation::HarnessTraceTrack() {
+  if (harness_track_ < 0) {
+    harness_track_ = trace_scope_.empty()
+                         ? 0
+                         : trace_->RegisterTrack(trace_scope_ + "cluster");
+  }
+  return static_cast<uint16_t>(harness_track_);
+}
+
+void ClusterSimulation::RunEndCallbackForKill(const RunningTask& task) {
+  const TaskClaim claim{task.machine, task.resources, 0};
+  if (task.cohort != CohortStore::kNoCohort) {
+    // The cohort record survives member eviction (Take only happens when the
+    // shared end event fires), so the callback is still reachable here.
+    const Cohort& c = cohorts_.Get(task.cohort);
+    if (c.on_task_end != nullptr) {
+      c.on_task_end(claim);
+    }
+  } else {
+    auto it = pertask_end_callbacks_.find(task.task_id);
+    if (it != pertask_end_callbacks_.end()) {
+      const auto cb = std::move(it->second);
+      pertask_end_callbacks_.erase(it);
+      cb(claim);
+    }
+  }
 }
 
 void ClusterSimulation::ScheduleNextMachineFailure() {
@@ -168,11 +215,11 @@ void ClusterSimulation::ScheduleNextMachineFailure() {
   const double cluster_rate_per_sec = options_.machine_failure_rate_per_day *
                                       cell_.NumMachines() / 86400.0;
   ExponentialDist gap(1.0 / cluster_rate_per_sec);
-  const SimTime when = sim_.Now() + Duration::FromSeconds(gap.Sample(rng_));
+  const SimTime when = sim_->Now() + Duration::FromSeconds(gap.Sample(rng_));
   if (when > EndTime()) {
     return;
   }
-  sim_.ScheduleAt(when, [this] {
+  sim_->ScheduleAt(when, [this] {
     FailMachine(static_cast<MachineId>(rng_.NextBounded(cell_.NumMachines())));
     ScheduleNextMachineFailure();
   });
@@ -192,6 +239,7 @@ void ClusterSimulation::FailMachine(MachineId machine) {
   // failures "only generate a small load on the scheduler").
   int64_t killed_here = 0;
   for (const RunningTask& task : registry_.TasksOn(machine)) {
+    RunEndCallbackForKill(task);
     CancelTaskEnd(task);
     registry_.Remove(task.task_id);
     cell_.Free(task.machine, task.resources);
@@ -199,7 +247,8 @@ void ClusterSimulation::FailMachine(MachineId machine) {
     ++killed_here;
   }
   if (trace_ != nullptr) {
-    trace_->MachineFailure(sim_.Now(), machine, killed_here);
+    trace_->MachineFailure(sim_->Now(), machine, killed_here,
+                           HarnessTraceTrack());
   }
   // Take the machine out of service by reserving all remaining capacity; the
   // sequence-number bump doubles as the state change other schedulers see.
@@ -212,7 +261,7 @@ void ClusterSimulation::FailMachine(MachineId machine) {
   downtime_reservation_[machine] = reservation;
   ++machine_failures_;
   ++machines_down_;
-  sim_.ScheduleAt(sim_.Now() + options_.machine_repair_time, [this, machine] {
+  sim_->ScheduleAt(sim_->Now() + options_.machine_repair_time, [this, machine] {
     if (!downtime_reservation_[machine].IsZero()) {
       cell_.Free(machine, downtime_reservation_[machine]);
       downtime_reservation_[machine] = Resources::Zero();
@@ -220,7 +269,7 @@ void ClusterSimulation::FailMachine(MachineId machine) {
     machine_down_[machine] = 0;
     --machines_down_;
     if (trace_ != nullptr) {
-      trace_->MachineRepair(sim_.Now(), machine);
+      trace_->MachineRepair(sim_->Now(), machine, HarnessTraceTrack());
     }
     OnTaskFreed();
   });
@@ -234,17 +283,10 @@ void ClusterSimulation::RunTrace(std::vector<Job> trace) {
       continue;
     }
     auto ptr = std::make_shared<Job>(std::move(job));
-    sim_.ScheduleAt(ptr->submit_time, [this, ptr] {
-      CountSubmission(ptr->type);
-      if (trace_ != nullptr) {
-        trace_->JobSubmit(sim_.Now(), ptr->id, ptr->type == JobType::kService,
-                          ptr->num_tasks);
-      }
-      SubmitJob(ptr);
-    });
+    sim_->ScheduleAt(ptr->submit_time, [this, ptr] { InjectJob(ptr); });
   }
   ScheduleUtilizationSample();
-  sim_.RunUntil(EndTime());
+  sim_->RunUntil(EndTime());
 }
 
 void ClusterSimulation::StartTasks(const Job& job,
@@ -258,7 +300,7 @@ void ClusterSimulation::StartTasks(const Job& job,
     return;
   }
   const JobId job_id = job.id;
-  const SimTime end = sim_.Now() + job.task_duration;
+  const SimTime end = sim_->Now() + job.task_duration;
   const CohortStore::CohortId cohort =
       cohorts_.Create(job_id, job.task_resources, std::move(on_task_end));
   Cohort& c = cohorts_.Get(cohort);
@@ -272,21 +314,22 @@ void ClusterSimulation::StartTasks(const Job& job,
     OMEGA_CHECK(claim.resources == job.task_resources)
         << "claim resources diverge from the job's task shape";
     if (trace_ != nullptr) {
-      trace_->TaskStart(sim_.Now(), job_id, claim.machine);
+      trace_->TaskStart(sim_->Now(), job_id, claim.machine,
+                        HarnessTraceTrack());
     }
     if (options_.track_running_tasks) {
       c.member_tasks.push_back(registry_.Add(claim.machine, claim.resources,
                                              job.precedence, 0, cohort));
     }
   }
-  c.end_event = sim_.ScheduleAt(end, [this, cohort] { FinishCohort(cohort); });
+  c.end_event = sim_->ScheduleAt(end, [this, cohort] { FinishCohort(cohort); });
 }
 
 void ClusterSimulation::FinishCohort(CohortStore::CohortId cohort_id) {
   // Take (move out + release) rather than reference: the member callbacks
   // below may start new cohorts, and slab growth would invalidate references.
   const Cohort c = cohorts_.Take(cohort_id);
-  const SimTime now = sim_.Now();
+  const SimTime now = sim_->Now();
   const size_t n = c.member_claims.size();
   for (size_t i = 0; i < n; ++i) {
     const TaskClaim& claim = c.member_claims[i];
@@ -294,7 +337,7 @@ void ClusterSimulation::FinishCohort(CohortStore::CohortId cohort_id) {
       c.on_task_end(claim);
     }
     if (trace_ != nullptr) {
-      trace_->TaskEnd(now, c.job, claim.machine);
+      trace_->TaskEnd(now, c.job, claim.machine, HarnessTraceTrack());
     }
     if (!c.member_tasks.empty()) {
       registry_.Remove(c.member_tasks[i]);
@@ -337,10 +380,10 @@ void ClusterSimulation::CancelTaskEnd(const RunningTask& task) {
     // is cancelled only when the last member is evicted.
     const EventId shared = cohorts_.RemoveMember(task.cohort, task.task_id);
     if (shared != kInvalidEventId) {
-      sim_.Cancel(shared);
+      sim_->Cancel(shared);
     }
   } else {
-    sim_.Cancel(task.end_event);
+    sim_->Cancel(task.end_event);
   }
 }
 
@@ -354,27 +397,36 @@ void ClusterSimulation::StartTasksPerTask(
   // cannot change between schedule and fire).
   const JobId job_id = job.id;
   for (const TaskClaim& claim : claims) {
-    const SimTime end = sim_.Now() + job.task_duration;
+    const SimTime end = sim_->Now() + job.task_duration;
     if (trace_ != nullptr) {
-      trace_->TaskStart(sim_.Now(), job_id, claim.machine);
+      trace_->TaskStart(sim_->Now(), job_id, claim.machine,
+                        HarnessTraceTrack());
     }
     if (options_.track_running_tasks) {
       const uint64_t task_id =
           registry_.Add(claim.machine, claim.resources, job.precedence, 0);
+      if (on_task_end != nullptr) {
+        // Keep the callback reachable by the kill path (machine failure,
+        // preemption), which cancels the end event before it can run.
+        pertask_end_callbacks_.emplace(task_id, on_task_end);
+      }
       EventId eid;
       if (trace_ != nullptr) {
-        eid = sim_.ScheduleAt(end, [this, claim, task_id, job_id, on_task_end] {
+        eid = sim_->ScheduleAt(end, [this, claim, task_id, job_id, on_task_end] {
           if (on_task_end != nullptr) {
+            pertask_end_callbacks_.erase(task_id);
             on_task_end(claim);
           }
-          trace_->TaskEnd(sim_.Now(), job_id, claim.machine);
+          trace_->TaskEnd(sim_->Now(), job_id, claim.machine,
+                          HarnessTraceTrack());
           registry_.Remove(task_id);
           cell_.Free(claim.machine, claim.resources);
           OnTaskFreed();
         });
       } else {
-        eid = sim_.ScheduleAt(end, [this, claim, task_id, on_task_end] {
+        eid = sim_->ScheduleAt(end, [this, claim, task_id, on_task_end] {
           if (on_task_end != nullptr) {
+            pertask_end_callbacks_.erase(task_id);
             on_task_end(claim);
           }
           registry_.Remove(task_id);
@@ -385,27 +437,29 @@ void ClusterSimulation::StartTasksPerTask(
       registry_.SetEndEvent(task_id, eid);
     } else if (on_task_end == nullptr) {
       if (trace_ != nullptr) {
-        sim_.ScheduleAt(end, [this, claim, job_id] {
-          trace_->TaskEnd(sim_.Now(), job_id, claim.machine);
+        sim_->ScheduleAt(end, [this, claim, job_id] {
+          trace_->TaskEnd(sim_->Now(), job_id, claim.machine,
+                          HarnessTraceTrack());
           cell_.Free(claim.machine, claim.resources);
           OnTaskFreed();
         });
       } else {
-        sim_.ScheduleAt(end, [this, claim] {
+        sim_->ScheduleAt(end, [this, claim] {
           cell_.Free(claim.machine, claim.resources);
           OnTaskFreed();
         });
       }
     } else {
       if (trace_ != nullptr) {
-        sim_.ScheduleAt(end, [this, claim, job_id, on_task_end] {
+        sim_->ScheduleAt(end, [this, claim, job_id, on_task_end] {
           on_task_end(claim);
-          trace_->TaskEnd(sim_.Now(), job_id, claim.machine);
+          trace_->TaskEnd(sim_->Now(), job_id, claim.machine,
+                          HarnessTraceTrack());
           cell_.Free(claim.machine, claim.resources);
           OnTaskFreed();
         });
       } else {
-        sim_.ScheduleAt(end, [this, claim, on_task_end] {
+        sim_->ScheduleAt(end, [this, claim, on_task_end] {
           on_task_end(claim);
           cell_.Free(claim.machine, claim.resources);
           OnTaskFreed();
@@ -439,6 +493,7 @@ MachineId ClusterSimulation::PreemptAndPlace(const Job& job, Rng& rng,
       return false;
     }
     for (const RunningTask& victim : victims) {
+      RunEndCallbackForKill(victim);
       CancelTaskEnd(victim);
       registry_.Remove(victim.task_id);
       cell_.Free(victim.machine, victim.resources);
@@ -447,8 +502,9 @@ MachineId ClusterSimulation::PreemptAndPlace(const Job& job, Rng& rng,
         ++*victims_evicted;
       }
       if (trace_ != nullptr) {
-        trace_->Preemption(sim_.Now(), job.id, victim.machine,
-                           victim.precedence, victim.task_id);
+        trace_->Preemption(sim_->Now(), job.id, victim.machine,
+                           victim.precedence, victim.task_id,
+                           HarnessTraceTrack());
       }
     }
     cell_.Allocate(m, job.task_resources);

@@ -43,6 +43,12 @@ class ClusterSimulation {
   // service arrival streams, and runs the simulation to the horizon.
   void Run();
 
+  // The setup half of Run(): initial fill plus arrival/sampling/failure
+  // streams, without entering the event loop. A multi-cell driver (the
+  // federation layer) prepares each cell in cell-index order and then runs
+  // the shared event queue itself.
+  void PrepareRun();
+
   // Replay mode: instead of synthesizing arrivals, submit exactly these jobs
   // at their recorded submission times (high-fidelity trace replay, §5).
   void RunTrace(std::vector<Job> trace);
@@ -50,7 +56,28 @@ class ClusterSimulation {
   // Routes a newly submitted job to the appropriate scheduler.
   virtual void SubmitJob(const JobPtr& job) = 0;
 
-  Simulator& sim() { return sim_; }
+  // Front-door entry for an externally generated job: counts the submission,
+  // traces it, and routes it via SubmitJob. Used by trace replay and by the
+  // federation submitter layer.
+  void InjectJob(const JobPtr& job);
+
+  // Redirects all event scheduling onto an external simulator (the federation
+  // layer runs N cells on one master event queue so gossip, transfers, and
+  // cell events interleave deterministically). Must be called before any
+  // event is scheduled, i.e. before Run()/PrepareRun()/RunTrace(). The
+  // simulator is borrowed, not owned, and must outlive this simulation.
+  void UseSharedSimulator(Simulator* sim);
+
+  // --- per-job lifecycle hooks (called by the schedulers) ---
+
+  // Invoked when a job reaches FullyScheduled() / is abandoned. Default
+  // no-ops; the federation layer overrides them to drive cross-cell
+  // spillover. Public because the schedulers (QueueScheduler, Mesos
+  // frameworks) invoke them on their harness.
+  virtual void OnJobFullyScheduled(const JobPtr& /*job*/) {}
+  virtual void OnJobAbandoned(const JobPtr& /*job*/) {}
+
+  Simulator& sim() { return *sim_; }
   CellState& cell() { return cell_; }
   const CellState& cell() const { return cell_; }
   const ClusterConfig& config() const { return config_; }
@@ -92,6 +119,14 @@ class ClusterSimulation {
   void SetTraceRecorder(TraceRecorder* recorder);
   TraceRecorder* trace() const { return trace_; }
 
+  // Namespace prefix for this simulation's trace tracks (e.g. "cell3/").
+  // When several cells share one TraceRecorder, the prefix keeps their
+  // scheduler tracks (and the per-cell harness track) from colliding on the
+  // same Perfetto thread id. Empty (the default) preserves the single-cell
+  // track names byte-for-byte. Set before Run()/RunTrace().
+  void SetTraceScope(std::string scope) { trace_scope_ = std::move(scope); }
+  const std::string& trace_scope() const { return trace_scope_; }
+
   // --- preemption support (requires SimOptions::track_running_tasks) ---
 
   // Attempts to place one task of `job` by evicting running tasks of strictly
@@ -112,6 +147,9 @@ class ClusterSimulation {
   int64_t MachineFailures() const { return machine_failures_; }
   int64_t TasksKilledByFailures() const { return tasks_killed_by_failures_; }
   int64_t MachinesDown() const { return machines_down_; }
+  bool MachineIsDown(MachineId machine) const {
+    return machine < machine_down_.size() && machine_down_[machine] != 0;
+  }
 
  protected:
   // Hook invoked after the initial fill and before arrivals start; subclasses
@@ -133,6 +171,17 @@ class ClusterSimulation {
   void CountSubmission(JobType type);
   void ScheduleNextMachineFailure();
 
+  // Trace track for harness-level events (job submits, task starts/ends,
+  // commits, failures). Track 0 ("cluster") unless a trace scope is set, in
+  // which case a per-cell "<scope>cluster" track is registered lazily.
+  uint16_t HarnessTraceTrack();
+
+  // Runs a killed task's pending end-of-life callback (Mesos allocator
+  // bookkeeping, per-scheduler held-resource accounts, MapReduce completion
+  // counters). Machine failures and preemption cancel the task's end event,
+  // which would otherwise silently skip the callback and leak those accounts.
+  void RunEndCallbackForKill(const RunningTask& task);
+
   // Reference per-task lifecycle path (cohort_batching off); kept so the
   // differential tests can compare the batched path against it.
   void StartTasksPerTask(const Job& job, std::span<const TaskClaim> claims,
@@ -146,7 +195,10 @@ class ClusterSimulation {
 
   ClusterConfig config_;
   SimOptions options_;
-  Simulator sim_;
+  // Owned by default; UseSharedSimulator() repoints sim_ at an external
+  // master queue (federation) and drops the owned instance.
+  std::unique_ptr<Simulator> owned_sim_;
+  Simulator* sim_;
   CellState cell_;
   WorkloadGenerator generator_;
   Rng rng_;
@@ -161,6 +213,15 @@ class ClusterSimulation {
   std::vector<MachineId> cohort_scratch_;
   int64_t tasks_preempted_ = 0;
   TraceRecorder* trace_ = nullptr;
+  std::string trace_scope_;
+  int32_t harness_track_ = -1;  // lazily registered; -1 = not yet
+
+  // End callbacks for per-task-path tasks (cohort_batching off) that are
+  // registered for preemption/failure tracking; keyed by task id so the kill
+  // path can still run them after the end event is cancelled. Lookup only —
+  // iteration order never observed (det-unordered-iter, DESIGN.md §9).
+  std::unordered_map<uint64_t, std::function<void(const TaskClaim&)>>
+      pertask_end_callbacks_;
 
   // Failure injection state: capacity reserved on down machines, pending
   // repair.

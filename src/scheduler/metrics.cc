@@ -1,6 +1,7 @@
 #include "src/scheduler/metrics.h"
 
 #include <algorithm>
+#include <limits>
 
 #include "src/common/logging.h"
 
@@ -190,7 +191,9 @@ DailySummary SchedulerMetrics::ConflictFraction(SimTime end) const {
 double SchedulerMetrics::MeanWait(JobType type) const {
   const auto& waits = type == JobType::kBatch ? wait_secs_batch_ : wait_secs_service_;
   if (waits.empty()) {
-    return 0.0;
+    // No jobs waited: "no data", not a zero-second wait (see stats.h).
+    // Aggregators that weight by JobsWaited() must guard the count.
+    return std::numeric_limits<double>::quiet_NaN();
   }
   double sum = 0.0;
   for (double w : waits) {

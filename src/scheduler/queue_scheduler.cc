@@ -14,6 +14,7 @@ void QueueScheduler::Submit(const JobPtr& job) {
       queue_.size() >= *config_.admission_limit) {
     job->abandoned = true;
     metrics_.RecordJobAbandoned(job->type);
+    harness_.OnJobAbandoned(job);
     return;
   }
   queue_.push_back(job);
@@ -21,18 +22,24 @@ void QueueScheduler::Submit(const JobPtr& job) {
 }
 
 void QueueScheduler::TryStartNext() {
-  if (busy_ || queue_.empty()) {
+  while (!busy_ && !queue_.empty()) {
+    JobPtr job = std::move(queue_.front());
+    queue_.pop_front();
+    if (job->cancelled) {
+      continue;  // withdrawn by the submitter while queued
+    }
+    BeginAttempt(job);
     return;
   }
-  JobPtr job = std::move(queue_.front());
-  queue_.pop_front();
-  BeginAttempt(job);
 }
 
 uint16_t QueueScheduler::TraceTrack() {
   if (trace_track_ < 0) {
     TraceRecorder* trace = harness_.trace();
-    trace_track_ = trace ? trace->RegisterTrack(config_.name) : 0;
+    // The cell's trace scope keeps same-named schedulers in different cells
+    // on distinct Perfetto tracks (empty for single-cell runs).
+    trace_track_ =
+        trace ? trace->RegisterTrack(harness_.trace_scope() + config_.name) : 0;
   }
   return static_cast<uint16_t>(trace_track_);
 }
@@ -92,10 +99,20 @@ void QueueScheduler::CompleteAttempt(const JobPtr& job, uint32_t tasks_placed,
   if (TraceRecorder* trace = harness_.trace()) {
     trace->AttemptEnd(now, TraceTrack(), job->id, tasks_placed, had_conflict);
   }
+  if (job->cancelled) {
+    // Withdrawn by the submitter mid-attempt (federation spillover). Tasks
+    // this attempt placed keep running, but the job neither retries nor
+    // counts as scheduled/abandoned here — its remaining work was re-issued
+    // elsewhere as a clone.
+    busy_ = false;
+    TryStartNext();
+    return;
+  }
   if (job->FullyScheduled()) {
     metrics_.RecordJobScheduled(now, job->type, job->scheduling_attempts,
                                 job->conflicted_attempts);
     busy_ = false;
+    harness_.OnJobFullyScheduled(job);
     TryStartNext();
     return;
   }
@@ -105,6 +122,7 @@ void QueueScheduler::CompleteAttempt(const JobPtr& job, uint32_t tasks_placed,
     job->abandoned = true;
     metrics_.RecordJobAbandoned(job->type);
     busy_ = false;
+    harness_.OnJobAbandoned(job);
     TryStartNext();
     return;
   }

@@ -95,8 +95,8 @@ void TraceRecorder::ForEachRetained(
 // generic fields are laid out; the exporters mirror the same mapping.
 
 void TraceRecorder::JobSubmit(SimTime t, uint64_t job, int job_type,
-                              int64_t num_tasks) {
-  Append(TraceEvent{t.micros(), TraceEventType::kJobSubmit, 0, job,
+                              int64_t num_tasks, uint16_t track) {
+  Append(TraceEvent{t.micros(), TraceEventType::kJobSubmit, track, job,
                     kInvalidMachineId, 0, job_type, num_tasks});
 }
 
@@ -119,8 +119,8 @@ void TraceRecorder::TxnCommit(SimTime t, uint16_t track, uint64_t job,
 }
 
 void TraceRecorder::CellCommit(SimTime t, int64_t claims, int64_t accepted,
-                               int64_t conflicted) {
-  Append(TraceEvent{t.micros(), TraceEventType::kCellCommit, 0, 0,
+                               int64_t conflicted, uint16_t track) {
+  Append(TraceEvent{t.micros(), TraceEventType::kCellCommit, track, 0,
                     kInvalidMachineId, static_cast<uint64_t>(claims), accepted,
                     conflicted});
 }
@@ -141,30 +141,34 @@ void TraceRecorder::GangAbort(SimTime t, uint16_t track, uint64_t job,
 
 void TraceRecorder::Preemption(SimTime t, uint64_t beneficiary_job,
                                MachineId machine, int64_t victim_precedence,
-                               uint64_t victim_task_id) {
-  Append(TraceEvent{t.micros(), TraceEventType::kPreemption, 0, beneficiary_job,
-                    machine, victim_task_id, victim_precedence, 0});
+                               uint64_t victim_task_id, uint16_t track) {
+  Append(TraceEvent{t.micros(), TraceEventType::kPreemption, track,
+                    beneficiary_job, machine, victim_task_id,
+                    victim_precedence, 0});
 }
 
-void TraceRecorder::TaskStart(SimTime t, uint64_t job, MachineId machine) {
-  Append(TraceEvent{t.micros(), TraceEventType::kTaskStart, 0, job, machine, 0,
-                    0, 0});
+void TraceRecorder::TaskStart(SimTime t, uint64_t job, MachineId machine,
+                              uint16_t track) {
+  Append(TraceEvent{t.micros(), TraceEventType::kTaskStart, track, job, machine,
+                    0, 0, 0});
 }
 
-void TraceRecorder::TaskEnd(SimTime t, uint64_t job, MachineId machine) {
-  Append(TraceEvent{t.micros(), TraceEventType::kTaskEnd, 0, job, machine, 0, 0,
-                    0});
+void TraceRecorder::TaskEnd(SimTime t, uint64_t job, MachineId machine,
+                            uint16_t track) {
+  Append(TraceEvent{t.micros(), TraceEventType::kTaskEnd, track, job, machine,
+                    0, 0, 0});
 }
 
 void TraceRecorder::MachineFailure(SimTime t, MachineId machine,
-                                   int64_t tasks_killed) {
-  Append(TraceEvent{t.micros(), TraceEventType::kMachineFailure, 0, 0, machine,
-                    0, tasks_killed, 0});
+                                   int64_t tasks_killed, uint16_t track) {
+  Append(TraceEvent{t.micros(), TraceEventType::kMachineFailure, track, 0,
+                    machine, 0, tasks_killed, 0});
 }
 
-void TraceRecorder::MachineRepair(SimTime t, MachineId machine) {
-  Append(TraceEvent{t.micros(), TraceEventType::kMachineRepair, 0, 0, machine,
-                    0, 0, 0});
+void TraceRecorder::MachineRepair(SimTime t, MachineId machine,
+                                  uint16_t track) {
+  Append(TraceEvent{t.micros(), TraceEventType::kMachineRepair, track, 0,
+                    machine, 0, 0, 0});
 }
 
 // ---------------------------------------------------------------------------

@@ -86,25 +86,34 @@ class TraceRecorder {
   const std::vector<std::string>& track_names() const { return track_names_; }
 
   // --- typed record methods (the instrumentation hooks call these) ---
+  //
+  // Harness-level events default to track 0 ("cluster"); a multi-cell driver
+  // passes each cell's own harness track so two cells' streams never
+  // interleave on one Perfetto thread.
 
-  void JobSubmit(SimTime t, uint64_t job, int job_type, int64_t num_tasks);
+  void JobSubmit(SimTime t, uint64_t job, int job_type, int64_t num_tasks,
+                 uint16_t track = 0);
   void AttemptBegin(SimTime t, uint16_t track, uint64_t job, int64_t attempt,
                     int64_t tasks_in_attempt);
   void AttemptEnd(SimTime t, uint16_t track, uint64_t job, int64_t tasks_placed,
                   bool had_conflict);
   void TxnCommit(SimTime t, uint16_t track, uint64_t job, int64_t accepted,
                  int64_t conflicted);
-  void CellCommit(SimTime t, int64_t claims, int64_t accepted, int64_t conflicted);
+  void CellCommit(SimTime t, int64_t claims, int64_t accepted,
+                  int64_t conflicted, uint16_t track = 0);
   void ClaimConflict(SimTime t, uint16_t track, uint64_t job, MachineId machine,
                      uint64_t seqnum_at_placement, uint64_t seqnum_at_commit);
   void GangAbort(SimTime t, uint16_t track, uint64_t job, int64_t claims_discarded,
                  bool at_commit);
   void Preemption(SimTime t, uint64_t beneficiary_job, MachineId machine,
-                  int64_t victim_precedence, uint64_t victim_task_id);
-  void TaskStart(SimTime t, uint64_t job, MachineId machine);
-  void TaskEnd(SimTime t, uint64_t job, MachineId machine);
-  void MachineFailure(SimTime t, MachineId machine, int64_t tasks_killed);
-  void MachineRepair(SimTime t, MachineId machine);
+                  int64_t victim_precedence, uint64_t victim_task_id,
+                  uint16_t track = 0);
+  void TaskStart(SimTime t, uint64_t job, MachineId machine,
+                 uint16_t track = 0);
+  void TaskEnd(SimTime t, uint64_t job, MachineId machine, uint16_t track = 0);
+  void MachineFailure(SimTime t, MachineId machine, int64_t tasks_killed,
+                      uint16_t track = 0);
+  void MachineRepair(SimTime t, MachineId machine, uint16_t track = 0);
 
   // --- queries ---
 

@@ -82,6 +82,10 @@ struct Job {
   uint32_t conflicted_attempts = 0;
   std::optional<SimTime> first_attempt_time;
   bool abandoned = false;
+  // Withdrawn by the submitter (the federation layer spills a timed-out job
+  // to another cell); schedulers drop cancelled jobs when they reach the
+  // queue head, without counting them as scheduled or abandoned.
+  bool cancelled = false;
 
   uint32_t TasksRemaining() const { return num_tasks - tasks_scheduled; }
   bool FullyScheduled() const { return tasks_scheduled == num_tasks; }

@@ -1,0 +1,25 @@
+// Bitwise double equality for the determinism differential tests.
+//
+// EXPECT_EQ on doubles uses operator==, which fails on NaN == NaN — but an
+// empty-sample summary statistic is legitimately NaN (stats.h), and the
+// differentials assert *bit-identical* reproduction, a strictly stronger
+// property than numeric equality. Compare the representations instead.
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cstdint>
+
+namespace omega {
+
+inline ::testing::AssertionResult SameBits(double a, double b) {
+  if (std::bit_cast<uint64_t>(a) == std::bit_cast<uint64_t>(b)) {
+    return ::testing::AssertionSuccess();
+  }
+  return ::testing::AssertionFailure()
+         << a << " (0x" << std::hex << std::bit_cast<uint64_t>(a) << ") vs "
+         << b << " (0x" << std::bit_cast<uint64_t>(b) << ")";
+}
+
+}  // namespace omega

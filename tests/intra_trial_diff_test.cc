@@ -10,6 +10,8 @@
 // re-run a small fig5 grid at 1 and 2 threads.
 #include <gtest/gtest.h>
 
+#include "tests/bitwise_eq.h"
+
 #include <memory>
 #include <vector>
 
@@ -216,13 +218,13 @@ TEST(IntraTrialDiffTest, Fig5SweepBitIdenticalAcrossThreadCounts) {
   for (size_t i = 0; i < a.size(); ++i) {
     EXPECT_EQ(a[i].arch, b[i].arch) << "trial " << i;
     EXPECT_EQ(a[i].cluster, b[i].cluster) << "trial " << i;
-    EXPECT_EQ(a[i].t_job_secs, b[i].t_job_secs) << "trial " << i;
-    EXPECT_EQ(a[i].batch_wait, b[i].batch_wait) << "trial " << i;
-    EXPECT_EQ(a[i].service_wait, b[i].service_wait) << "trial " << i;
-    EXPECT_EQ(a[i].batch_busy, b[i].batch_busy) << "trial " << i;
-    EXPECT_EQ(a[i].batch_busy_mad, b[i].batch_busy_mad) << "trial " << i;
-    EXPECT_EQ(a[i].service_busy, b[i].service_busy) << "trial " << i;
-    EXPECT_EQ(a[i].service_busy_mad, b[i].service_busy_mad) << "trial " << i;
+    EXPECT_TRUE(SameBits(a[i].t_job_secs, b[i].t_job_secs)) << "trial " << i;
+    EXPECT_TRUE(SameBits(a[i].batch_wait, b[i].batch_wait)) << "trial " << i;
+    EXPECT_TRUE(SameBits(a[i].service_wait, b[i].service_wait)) << "trial " << i;
+    EXPECT_TRUE(SameBits(a[i].batch_busy, b[i].batch_busy)) << "trial " << i;
+    EXPECT_TRUE(SameBits(a[i].batch_busy_mad, b[i].batch_busy_mad)) << "trial " << i;
+    EXPECT_TRUE(SameBits(a[i].service_busy, b[i].service_busy)) << "trial " << i;
+    EXPECT_TRUE(SameBits(a[i].service_busy_mad, b[i].service_busy_mad)) << "trial " << i;
     EXPECT_EQ(a[i].abandoned, b[i].abandoned) << "trial " << i;
   }
 }

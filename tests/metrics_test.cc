@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+
 namespace omega {
 namespace {
 
@@ -91,10 +93,12 @@ TEST(MetricsTest, WaitTimesPerType) {
   EXPECT_DOUBLE_EQ(m.WaitPercentile(JobType::kBatch, 1.0), 20.0);
 }
 
-TEST(MetricsTest, EmptyWaitIsZero) {
+TEST(MetricsTest, EmptyWaitIsNaN) {
+  // "No jobs waited" must be distinguishable from a true zero-second wait;
+  // JSON emitters render the NaN as null.
   SchedulerMetrics m;
-  EXPECT_EQ(m.MeanWait(JobType::kBatch), 0.0);
-  EXPECT_EQ(m.WaitPercentile(JobType::kService, 0.9), 0.0);
+  EXPECT_TRUE(std::isnan(m.MeanWait(JobType::kBatch)));
+  EXPECT_TRUE(std::isnan(m.WaitPercentile(JobType::kService, 0.9)));
 }
 
 TEST(MetricsTest, JobCounters) {

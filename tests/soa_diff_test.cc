@@ -10,6 +10,8 @@
 // both settings.
 #include <gtest/gtest.h>
 
+#include "tests/bitwise_eq.h"
+
 #include <memory>
 #include <vector>
 
@@ -277,13 +279,13 @@ TEST(SoADifferentialTest, Fig5SweepBitIdenticalWithSoAOnAndOff) {
     const SweepResult& b = off[i];
     EXPECT_EQ(a.arch, b.arch) << "trial " << i;
     EXPECT_EQ(a.cluster, b.cluster) << "trial " << i;
-    EXPECT_EQ(a.t_job_secs, b.t_job_secs) << "trial " << i;
-    EXPECT_EQ(a.batch_wait, b.batch_wait) << "trial " << i;
-    EXPECT_EQ(a.service_wait, b.service_wait) << "trial " << i;
-    EXPECT_EQ(a.batch_busy, b.batch_busy) << "trial " << i;
-    EXPECT_EQ(a.batch_busy_mad, b.batch_busy_mad) << "trial " << i;
-    EXPECT_EQ(a.service_busy, b.service_busy) << "trial " << i;
-    EXPECT_EQ(a.service_busy_mad, b.service_busy_mad) << "trial " << i;
+    EXPECT_TRUE(SameBits(a.t_job_secs, b.t_job_secs)) << "trial " << i;
+    EXPECT_TRUE(SameBits(a.batch_wait, b.batch_wait)) << "trial " << i;
+    EXPECT_TRUE(SameBits(a.service_wait, b.service_wait)) << "trial " << i;
+    EXPECT_TRUE(SameBits(a.batch_busy, b.batch_busy)) << "trial " << i;
+    EXPECT_TRUE(SameBits(a.batch_busy_mad, b.batch_busy_mad)) << "trial " << i;
+    EXPECT_TRUE(SameBits(a.service_busy, b.service_busy)) << "trial " << i;
+    EXPECT_TRUE(SameBits(a.service_busy_mad, b.service_busy_mad)) << "trial " << i;
     EXPECT_EQ(a.abandoned, b.abandoned) << "trial " << i;
   }
 }

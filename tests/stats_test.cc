@@ -69,7 +69,10 @@ TEST(PercentileTest, KnownValues) {
 }
 
 TEST(PercentileTest, EmptyAndSingle) {
-  EXPECT_EQ(Percentile({}, 0.5), 0.0);
+  // An empty sample is "no data", not zero (AppendNumber emits null for it).
+  EXPECT_TRUE(std::isnan(Percentile({}, 0.5)));
+  EXPECT_TRUE(std::isnan(Median({})));
+  EXPECT_TRUE(std::isnan(MedianAbsoluteDeviation({})));
   EXPECT_EQ(Percentile({7.0}, 0.9), 7.0);
 }
 
@@ -213,6 +216,7 @@ TEST(CdfTest, EmptyBehaviour) {
   EXPECT_TRUE(cdf.empty());
   EXPECT_EQ(cdf.FractionAtOrBelow(1.0), 0.0);
   EXPECT_EQ(cdf.MeanValue(), 0.0);
+  EXPECT_TRUE(std::isnan(cdf.Quantile(0.5)));
 }
 
 TEST(CdfTest, AddAfterQueryResorts) {

@@ -8,6 +8,7 @@
 #include <cstdlib>
 #include <fstream>
 #include <iterator>
+#include <limits>
 #include <set>
 #include <sstream>
 #include <stdexcept>
@@ -15,6 +16,7 @@
 
 #include "bench/fig56_sweep.h"
 #include "src/common/random.h"
+#include "tests/bitwise_eq.h"
 
 namespace omega {
 namespace {
@@ -150,16 +152,17 @@ TEST(SweepDeterminismTest, Fig5SweepIdenticalAcrossThreadCounts) {
       const SweepResult& b = runs[k][i];
       EXPECT_EQ(a.arch, b.arch) << "trial " << i;
       EXPECT_EQ(a.cluster, b.cluster) << "trial " << i;
-      EXPECT_EQ(a.t_job_secs, b.t_job_secs) << "trial " << i;
-      EXPECT_EQ(a.batch_wait, b.batch_wait) << "trial " << i;
-      EXPECT_EQ(a.service_wait, b.service_wait) << "trial " << i;
-      EXPECT_EQ(a.batch_busy, b.batch_busy) << "trial " << i;
-      EXPECT_EQ(a.batch_busy_mad, b.batch_busy_mad) << "trial " << i;
-      EXPECT_EQ(a.service_busy, b.service_busy) << "trial " << i;
-      EXPECT_EQ(a.service_busy_mad, b.service_busy_mad) << "trial " << i;
+      EXPECT_TRUE(SameBits(a.t_job_secs, b.t_job_secs)) << "trial " << i;
+      EXPECT_TRUE(SameBits(a.batch_wait, b.batch_wait)) << "trial " << i;
+      EXPECT_TRUE(SameBits(a.service_wait, b.service_wait)) << "trial " << i;
+      EXPECT_TRUE(SameBits(a.batch_busy, b.batch_busy)) << "trial " << i;
+      EXPECT_TRUE(SameBits(a.batch_busy_mad, b.batch_busy_mad)) << "trial " << i;
+      EXPECT_TRUE(SameBits(a.service_busy, b.service_busy)) << "trial " << i;
+      EXPECT_TRUE(SameBits(a.service_busy_mad, b.service_busy_mad))
+          << "trial " << i;
       EXPECT_EQ(a.abandoned, b.abandoned) << "trial " << i;
     }
-    EXPECT_EQ(merged_means[k], merged_means[0]);
+    EXPECT_TRUE(SameBits(merged_means[k], merged_means[0]));
   }
 }
 
@@ -184,16 +187,20 @@ TEST(SweepDeterminismTest, Fig5SweepMatchesSeedGoldens) {
     double service_busy_mad;
     long long abandoned;
   };
+  // No service job waited in these trials; the empty-sample summary is NaN
+  // (stats.h). The underlying wait samples are unchanged from the seed
+  // capture — only the empty-summary sentinel moved from 0 to NaN.
+  constexpr double kNoData = std::numeric_limits<double>::quiet_NaN();
   static constexpr Golden kGolden[] = {
       {"mono-single", "A", 0.01, 0.35810137145969495, 0.60821516666666664, 0.19081307870370454, 0, 0.19081307870370454, 0, 0},
       {"mono-single", "A", 1, 110.57116944680847, 96.259733999999995, 1, 0, 1, 0, 0},
-      {"mono-single", "A", 100, 149.18958900000001, 0, 1, 0, 1, 0, 0},
+      {"mono-single", "A", 100, 149.18958900000001, kNoData, 1, 0, 1, 0, 0},
       {"mono-single", "B", 0.01, 0.010851626062322947, 0, 0.049898726851851788, 0, 0.049898726851851788, 0, 0},
       {"mono-single", "B", 1, 36.526920896969678, 37.894711799999996, 1, 0, 1, 0, 0},
-      {"mono-single", "B", 100, 146.54060200000001, 0, 1, 0, 1, 0, 0},
+      {"mono-single", "B", 100, 146.54060200000001, kNoData, 1, 0, 1, 0, 0},
       {"mono-single", "C", 0.01, 0.20543388524590164, 0, 0.075491898148148148, 0, 0.075491898148148148, 0, 0},
       {"mono-single", "C", 1, 2.3980126640316208, 2.0010374999999998, 0.8365885416666643, 0, 0.8365885416666643, 0, 0},
-      {"mono-single", "C", 100, 146.97280624999999, 0, 1, 0, 1, 0, 0},
+      {"mono-single", "C", 100, 146.97280624999999, kNoData, 1, 0, 1, 0, 0},
       {"mono-multi", "A", 0.01, 0.25805040549450547, 0.87945300000000004, 0.41238425925925909, 0, 0.41238425925925909, 0, 0},
       {"mono-multi", "A", 1, 0.22850834676564138, 0.053920666666666672, 0.43074363425926049, 0, 0.43074363425926049, 0, 0},
       {"mono-multi", "A", 100, 29.779923723650395, 2.5036619999999998, 0.92524594907407631, 0, 0.92524594907407631, 0, 0},
@@ -222,13 +229,14 @@ TEST(SweepDeterminismTest, Fig5SweepMatchesSeedGoldens) {
     const Golden& g = kGolden[i];
     EXPECT_EQ(r.arch, g.arch) << "trial " << i;
     EXPECT_EQ(r.cluster, g.cluster) << "trial " << i;
-    EXPECT_EQ(r.t_job_secs, g.t_job_secs) << "trial " << i;
-    EXPECT_EQ(r.batch_wait, g.batch_wait) << "trial " << i;
-    EXPECT_EQ(r.service_wait, g.service_wait) << "trial " << i;
-    EXPECT_EQ(r.batch_busy, g.batch_busy) << "trial " << i;
-    EXPECT_EQ(r.batch_busy_mad, g.batch_busy_mad) << "trial " << i;
-    EXPECT_EQ(r.service_busy, g.service_busy) << "trial " << i;
-    EXPECT_EQ(r.service_busy_mad, g.service_busy_mad) << "trial " << i;
+    EXPECT_TRUE(SameBits(r.t_job_secs, g.t_job_secs)) << "trial " << i;
+    EXPECT_TRUE(SameBits(r.batch_wait, g.batch_wait)) << "trial " << i;
+    EXPECT_TRUE(SameBits(r.service_wait, g.service_wait)) << "trial " << i;
+    EXPECT_TRUE(SameBits(r.batch_busy, g.batch_busy)) << "trial " << i;
+    EXPECT_TRUE(SameBits(r.batch_busy_mad, g.batch_busy_mad)) << "trial " << i;
+    EXPECT_TRUE(SameBits(r.service_busy, g.service_busy)) << "trial " << i;
+    EXPECT_TRUE(SameBits(r.service_busy_mad, g.service_busy_mad))
+        << "trial " << i;
     EXPECT_EQ(r.abandoned, g.abandoned) << "trial " << i;
   }
 }
