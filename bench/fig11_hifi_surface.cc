@@ -6,6 +6,7 @@
 #include <iostream>
 
 #include "bench/bench_common.h"
+#include "src/common/deterministic_reduce.h"
 #include "src/common/parallel_for.h"
 #include "src/hifi/hifi_simulation.h"
 
@@ -28,6 +29,7 @@ int main() {
     }
   }
   std::vector<double> busy(points.size());
+  ShardSlots<double> busy_slots(busy);
   ParallelFor(
       points.size(),
       [&](size_t i) {
@@ -41,7 +43,7 @@ int main() {
                                       DefaultSchedulerConfig("batch"), service);
         auto trace = GenerateHifiTrace(ClusterC(), horizon, 1100 + i);
         sim->RunTrace(std::move(trace));
-        busy[i] =
+        busy_slots[i] =
             sim->service_scheduler().metrics().Busyness(sim->EndTime()).median;
       },
       BenchThreads());

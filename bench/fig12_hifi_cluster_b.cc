@@ -10,6 +10,7 @@
 #include <iostream>
 
 #include "bench/bench_common.h"
+#include "src/common/deterministic_reduce.h"
 #include "src/common/parallel_for.h"
 #include "src/hifi/hifi_simulation.h"
 
@@ -30,6 +31,7 @@ int main() {
     double batch_busy, service_busy, service_busy_noconflict;
   };
   std::vector<Row> rows(t_jobs.size());
+  ShardSlots<Row> row_slots(rows);
   ParallelFor(
       t_jobs.size(),
       [&](size_t i) {
@@ -44,7 +46,7 @@ int main() {
         const SimTime end = sim->EndTime();
         const auto& bm = sim->batch_scheduler(0).metrics();
         const auto& sm = sim->service_scheduler().metrics();
-        rows[i] = Row{t_jobs[i],
+        row_slots[i] = Row{t_jobs[i],
                       bm.MeanWait(JobType::kBatch),
                       bm.WaitPercentile(JobType::kBatch, 0.9),
                       sm.MeanWait(JobType::kService),

@@ -9,6 +9,7 @@
 #include <iostream>
 
 #include "bench/bench_common.h"
+#include "src/common/deterministic_reduce.h"
 #include "src/common/parallel_for.h"
 #include "src/hifi/hifi_simulation.h"
 
@@ -29,6 +30,7 @@ int main() {
     double service_busy = 0.0;
   };
   std::vector<Row> rows(t_jobs.size() * 2);
+  ShardSlots<Row> row_slots(rows);
   ParallelFor(
       rows.size(),
       [&](size_t i) {
@@ -57,7 +59,7 @@ int main() {
         row.conflict_fraction = sim->MeanBatchConflictFraction();
         row.service_busy =
             sim->service_scheduler().metrics().Busyness(end).median;
-        rows[i] = row;
+        row_slots[i] = row;
       },
       BenchThreads());
 

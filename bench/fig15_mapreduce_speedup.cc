@@ -9,6 +9,7 @@
 #include <iostream>
 
 #include "bench/bench_common.h"
+#include "src/common/deterministic_reduce.h"
 #include "src/common/parallel_for.h"
 #include "src/common/stats.h"
 #include "src/mapreduce/mr_scheduler.h"
@@ -35,6 +36,7 @@ int main() {
       runs.push_back(Run{c, p, {}});
     }
   }
+  ShardSlots<Run> run_slots(runs);
   ParallelFor(
       runs.size(),
       [&](size_t i) {
@@ -48,7 +50,7 @@ int main() {
                                 DefaultSchedulerConfig("service"), policy);
         sim.Run();
         for (const MapReduceOutcome& o : sim.mr_scheduler().outcomes()) {
-          runs[i].speedups.Add(o.predicted_speedup);
+          run_slots[i].speedups.Add(o.predicted_speedup);
         }
       },
       BenchThreads());

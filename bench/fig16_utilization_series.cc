@@ -8,6 +8,7 @@
 #include <iostream>
 
 #include "bench/bench_common.h"
+#include "src/common/deterministic_reduce.h"
 #include "src/common/parallel_for.h"
 #include "src/common/stats.h"
 #include "src/mapreduce/mr_scheduler.h"
@@ -24,6 +25,7 @@ int main() {
   };
   std::vector<Run> runs{{MapReducePolicy::kNone, {}},
                         {MapReducePolicy::kMaxParallelism, {}}};
+  ShardSlots<Run> run_slots(runs);
   ParallelFor(
       runs.size(),
       [&](size_t i) {
@@ -36,7 +38,7 @@ int main() {
         MapReduceSimulation sim(ClusterC(), opts, DefaultSchedulerConfig("batch"),
                                 DefaultSchedulerConfig("service"), policy);
         sim.Run();
-        runs[i].series = sim.utilization_series();
+        run_slots[i].series = sim.utilization_series();
       },
       BenchThreads());
 

@@ -10,6 +10,7 @@
 #include <iostream>
 
 #include "bench/bench_common.h"
+#include "src/common/deterministic_reduce.h"
 #include "src/common/parallel_for.h"
 #include "src/mesos/mesos_simulation.h"
 
@@ -36,6 +37,7 @@ int main() {
     int64_t abandoned;
   };
   std::vector<Row> rows(points.size());
+  ShardSlots<Row> row_slots(rows);
   ParallelFor(
       points.size(),
       [&](size_t i) {
@@ -47,7 +49,7 @@ int main() {
                             ServiceConfigWithTjob(points[i].t_job));
         sim.Run();
         const SimTime end = sim.EndTime();
-        rows[i] = Row{points[i],
+        row_slots[i] = Row{points[i],
                       sim.batch_framework().metrics().MeanWait(JobType::kBatch),
                       sim.service_framework().metrics().MeanWait(JobType::kService),
                       sim.batch_framework().metrics().Busyness(end).median,

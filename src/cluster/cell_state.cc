@@ -530,6 +530,7 @@ CommitResult CellState::Commit(std::span<const TaskClaim> claims,
     const size_t grain = ReduceGrain(num_runs, pool_->concurrency(),
                                      /*min_grain=*/1);
     const size_t num_shards = (num_runs + grain - 1) / grain;
+    ShardSlots<char> accept_slots(accept);
     pool_->Run(num_shards, [&](size_t shard) {
       const size_t run_begin = shard * grain;
       const size_t run_end = std::min(num_runs, run_begin + grain);
@@ -550,7 +551,7 @@ CommitResult CellState::Commit(std::span<const TaskClaim> claims,
               }
               break;
           }
-          accept[idx] = ok ? 1 : 0;
+          accept_slots[idx] = ok ? 1 : 0;
           if (ok) {
             pending += claim.resources;
           }

@@ -40,6 +40,29 @@ namespace omega {
 // Sentinel for "no index selected".
 inline constexpr size_t kReduceNotFound = static_cast<size_t>(-1);
 
+// Per-shard output view: wraps a caller-owned buffer whose slots are written
+// by at most one shard invocation each (disjoint index ranges). This is the
+// one sanctioned form of shared-memory *output* from shard callbacks — every
+// other write to state visible across shards is a det-shard-unsafe-write
+// finding (omega_lint, DESIGN.md §14). The wrapper adds no synchronization;
+// the disjointness contract is the caller's. It exists to make the pattern
+// explicit at the declaration and statically recognizable.
+template <typename T>
+class ShardSlots {
+ public:
+  explicit ShardSlots(std::vector<T>& buf)
+      : data_(buf.data()), size_(buf.size()) {}
+  ShardSlots(T* data, size_t size) : data_(data), size_(size) {}
+
+  T& operator[](size_t i) const { return data_[i]; }
+  size_t size() const { return size_; }
+  T* data() const { return data_; }
+
+ private:
+  T* data_;
+  size_t size_;
+};
+
 // Shard size for an n-element scan on `concurrency` lanes: ~4 shards per lane
 // for load balancing, but never smaller than min_grain so per-shard dispatch
 // overhead stays amortized (and small inputs fall back to one shard, i.e.

@@ -17,6 +17,7 @@
 #include <utility>
 #include <vector>
 
+#include "src/common/deterministic_reduce.h"
 #include "src/common/parallel_for.h"
 #include "src/common/random.h"
 #include "src/common/stats.h"
@@ -94,6 +95,8 @@ class SweepRunner {
                   "trial results are collected into a pre-sized vector");
     Begin(num_trials);
     std::vector<Result> results(num_trials);
+    ShardSlots<Result> result_slots(results);
+    ShardSlots<double> wall_slots(report_.trial_wall_seconds);
     const auto sweep_start = std::chrono::steady_clock::now();
     // Chunked dispatch with grain 1: trials are coarse, so the chunk loop is
     // degenerate, but routing through ParallelForRanges keeps the sweep
@@ -107,8 +110,8 @@ class SweepRunner {
             ctx.index = i;
             ctx.base_seed = report_.base_seed;
             ctx.seed = SubstreamSeed(report_.base_seed, i);
-            results[i] = fn(static_cast<const TrialContext&>(ctx));
-            report_.trial_wall_seconds[i] =
+            result_slots[i] = fn(static_cast<const TrialContext&>(ctx));
+            wall_slots[i] =
                 Elapsed(trial_start, std::chrono::steady_clock::now());
           }
         },

@@ -1,0 +1,17 @@
+// Positive fixture for sim-dangling-capture: deferred callbacks capturing
+// stack locals by reference.
+#include <cstddef>
+
+namespace omega {
+
+void ScheduleWithStackRef(Simulator& sim) {
+  int count = 0;
+  sim.ScheduleAt(SimTime(5), [&count] { count += 1; });  // &count dangles
+}
+
+void ScheduleWithDefaultRef(Simulator& sim) {
+  double score = 0.0;
+  sim.ScheduleAfter(SimDuration(1), [&] { score += 1.0; });  // [&] dangles
+}
+
+}  // namespace omega

@@ -1,0 +1,19 @@
+// Negative fixture: by-value captures and references to caller-owned state
+// outlive the scheduling frame.
+#include <cstddef>
+#include <vector>
+
+namespace omega {
+
+void ScheduleByValue(Simulator& sim) {
+  int count = 0;
+  sim.ScheduleAt(SimTime(5), [count] { (void)count; });  // copied in
+}
+
+void ScheduleCallerOwned(Simulator& sim, std::vector<int>& store) {
+  // `store` is a reference parameter: the callee does not own its lifetime,
+  // so re-capturing it by reference is the caller's contract, not a dangle.
+  sim.ScheduleAfter(SimDuration(2), [&store] { store.push_back(1); });
+}
+
+}  // namespace omega

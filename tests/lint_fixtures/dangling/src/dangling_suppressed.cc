@@ -1,0 +1,15 @@
+// Suppression fixture for sim-dangling-capture: the frame provably outlives
+// the callback because it drives the simulator loop itself.
+namespace omega {
+
+int RunToCompletion(Simulator& sim) {
+  int count = 0;
+  // This frame calls sim.Run() below, so the callback fires while `count`
+  // is alive.
+  // omega-lint: allow(sim-dangling-capture)
+  sim.ScheduleAt(SimTime(1), [&count] { count += 1; });
+  sim.Run();
+  return count;
+}
+
+}  // namespace omega

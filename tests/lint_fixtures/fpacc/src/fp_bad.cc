@@ -1,0 +1,23 @@
+// Positive fixture for det-fp-unordered-acc: floating-point accumulation in
+// iteration order over unordered containers.
+#include <numeric>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace omega {
+
+double SumWeights(const std::unordered_map<int, double>& weights) {
+  double total = 0.0;
+  // omega-lint: allow(det-unordered-iter)
+  for (const auto& kv : weights) {
+    total += kv.second;  // FP += in bucket order
+  }
+  return total;
+}
+
+double AccumulateSet(const std::unordered_set<double>& values) {
+  // omega-lint: allow(det-unordered-iter)
+  return std::accumulate(values.begin(), values.end(), 0.0);
+}
+
+}  // namespace omega

@@ -1,0 +1,26 @@
+// Negative fixture: FP accumulation over ordered containers is fine, and
+// integer accumulation over unordered ones is order-independent anyway.
+#include <map>
+#include <unordered_map>
+
+namespace omega {
+
+double SumOrdered(const std::map<int, double>& prio_by_key) {
+  double total = 0.0;
+  for (const auto& kv : prio_by_key) {
+    total += kv.second;  // std::map iterates in key order
+  }
+  return total;
+}
+
+int CountEntries(const std::unordered_map<int, double>& histogram) {
+  int n = 0;
+  // omega-lint: allow(det-unordered-iter)
+  for (const auto& kv : histogram) {
+    n += 1;  // integer accumulation: exact in any order
+    (void)kv;
+  }
+  return n;
+}
+
+}  // namespace omega

@@ -1,0 +1,18 @@
+// Suppression fixture for det-fp-unordered-acc (the v1 unordered-iter rule
+// fires on the same loop, so the allow() names both).
+#include <unordered_map>
+
+namespace omega {
+
+double ToleratedDrift(const std::unordered_map<int, double>& weights) {
+  double total = 0.0;
+  // Order drift accepted here: the sum feeds a log line, not a result.
+  // omega-lint: allow(det-unordered-iter)
+  for (const auto& kv : weights) {
+    // omega-lint: allow(det-fp-unordered-acc)
+    total += kv.second;
+  }
+  return total;
+}
+
+}  // namespace omega

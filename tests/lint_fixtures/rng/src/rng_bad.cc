@@ -1,0 +1,28 @@
+// Positive fixture for det-rng-substream: fresh engines outside
+// src/common/random, unseeded Rng, and shared-RNG draws inside shard code.
+#include <cstddef>
+#include <random>
+
+namespace omega {
+
+double FreshEngine() {
+  std::mt19937 gen(42);  // fresh engine construction outside src/common/random
+  return static_cast<double>(gen());
+}
+
+double UnseededStream() {
+  Rng r(12345);  // raw literal seed, no SubstreamSeed/Fork marker
+  return r.NextDouble();
+}
+
+void SharedDrawInShard(Rng& rng) {
+  ParallelFor(4, [&](size_t i) {
+    // The engine lives outside the shard callback: draw order depends on
+    // shard interleaving.
+    double v = rng.NextDouble();
+    (void)v;
+    (void)i;
+  });
+}
+
+}  // namespace omega

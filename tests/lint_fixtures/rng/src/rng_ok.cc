@@ -1,0 +1,22 @@
+// Negative fixture: substream-seeded streams and per-shard engines are the
+// sanctioned shapes.
+#include <cstddef>
+#include <vector>
+
+namespace omega {
+
+double SeededStream(uint64_t base) {
+  Rng r(SubstreamSeed(base, 7));  // substream marker present
+  return r.NextDouble();
+}
+
+void PerShardEngines(uint64_t base) {
+  std::vector<double> out(4, 0.0);
+  ShardSlots<double> slots(out);
+  ParallelFor(4, [&](size_t i) {
+    Rng rng(SubstreamSeed(base, i));  // engine private to the shard frame
+    slots[i] = rng.NextDouble();
+  });
+}
+
+}  // namespace omega

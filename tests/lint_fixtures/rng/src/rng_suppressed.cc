@@ -1,0 +1,13 @@
+// Suppression fixture for det-rng-substream.
+#include <random>
+
+namespace omega {
+
+unsigned NonDeterministicByDesign() {
+  // Fixture exercising the suppression path, not a sanctioned pattern.
+  // omega-lint: allow(det-rng-substream)
+  std::mt19937 gen(1);
+  return gen();
+}
+
+}  // namespace omega

@@ -1,0 +1,16 @@
+// Suppression fixture: an intentional shared write, justified inline.
+#include <cstddef>
+
+namespace omega {
+
+int g_progress = 0;
+
+void SuppressedSharedWrite() {
+  ParallelFor(2, [&](size_t i) {
+    // Benign data race accepted for this fixture's sake.
+    // omega-lint: allow(det-shard-unsafe-write)
+    g_progress += static_cast<int>(i);
+  });
+}
+
+}  // namespace omega

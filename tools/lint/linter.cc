@@ -28,14 +28,14 @@ bool HasPrefix(const std::string& s, const std::string& prefix) {
 }
 
 // One lexed token: an identifier or a single punctuation character.
-struct Token {
+struct ScanToken {
   std::string text;
   size_t offset = 0;
   bool ident = false;
 };
 
-std::vector<Token> Tokenize(const std::string& code) {
-  std::vector<Token> tokens;
+std::vector<ScanToken> Tokenize(const std::string& code) {
+  std::vector<ScanToken> tokens;
   size_t i = 0;
   while (i < code.size()) {
     const char c = code[i];
@@ -158,7 +158,7 @@ const std::set<std::string>& ParallelPrimitiveNames() {
 
 // True if tokens[idx] is reached through a member access (`.x` / `->x`),
 // meaning it names the caller's own member, not the banned global.
-bool IsMemberAccess(const std::vector<Token>& tokens, size_t idx) {
+bool IsMemberAccess(const std::vector<ScanToken>& tokens, size_t idx) {
   if (idx == 0) {
     return false;
   }
@@ -173,11 +173,11 @@ bool IsMemberAccess(const std::vector<Token>& tokens, size_t idx) {
 // rather than a call: a preceding identifier is the return type
 // (`double time(int)`), while call sites are preceded by punctuation or a
 // statement keyword (`return time(nullptr)`).
-bool IsDeclarationContext(const std::vector<Token>& tokens, size_t idx) {
+bool IsDeclarationContext(const std::vector<ScanToken>& tokens, size_t idx) {
   if (idx == 0) {
     return false;
   }
-  const Token& prev = tokens[idx - 1];
+  const ScanToken& prev = tokens[idx - 1];
   if (!prev.ident) {
     return false;
   }
@@ -189,7 +189,7 @@ bool IsDeclarationContext(const std::vector<Token>& tokens, size_t idx) {
 // Skips a balanced <...> starting at tokens[idx] == "<"; returns the index
 // one past the closing ">", or npos if unbalanced. Parens inside template
 // arguments are tolerated because only <> depth is tracked.
-size_t SkipAngles(const std::vector<Token>& tokens, size_t idx) {
+size_t SkipAngles(const std::vector<ScanToken>& tokens, size_t idx) {
   int depth = 0;
   for (size_t i = idx; i < tokens.size(); ++i) {
     if (tokens[i].text == "<") {
@@ -219,6 +219,10 @@ const std::vector<std::string>& AllRuleIds() {
       "hygiene-pragma-once",
       "hygiene-using-namespace",
       "hygiene-nonconst-global",
+      "det-shard-unsafe-write",
+      "det-rng-substream",
+      "det-fp-unordered-acc",
+      "sim-dangling-capture",
   };
   return ids;
 }
@@ -467,9 +471,19 @@ void Linter::Finish() {
     }
   }
   for (const auto& [path, f] : files_) {
+    if (InScope(path, config_.flow_scope)) {
+      CollectFpDecls(f);
+    }
+  }
+  for (const auto& [path, f] : files_) {
     LintFile(f);
   }
   CheckIncludeCycles();
+  BuildModel();
+  CheckShardSafety();
+  CheckRngDiscipline();
+  CheckFpUnorderedAcc();
+  CheckDanglingCaptures();
   std::sort(findings_.begin(), findings_.end(),
             [](const Finding& a, const Finding& b) {
               if (a.file != b.file) return a.file < b.file;
@@ -531,9 +545,9 @@ bool Linter::DetExempt(const std::string& rel_path) const {
 // (`Alias name;`). Name-based on purpose: a per-file type system is out of
 // scope for a scanner, and suppressions cover the rare collision.
 void Linter::CollectUnorderedDecls(const FileData& f) {
-  const std::vector<Token> tokens = Tokenize(f.code_nostrings);
+  const std::vector<ScanToken> tokens = Tokenize(f.code_nostrings);
   for (size_t i = 0; i < tokens.size(); ++i) {
-    const Token& t = tokens[i];
+    const ScanToken& t = tokens[i];
     if (!t.ident) {
       continue;
     }
@@ -583,6 +597,36 @@ void Linter::CollectUnorderedDecls(const FileData& f) {
   }
 }
 
+// Registers names declared with a floating-point type (`double x`,
+// `float total_`, `double* out`) so det-fp-unordered-acc can tell an
+// order-sensitive FP accumulation from an integer count. Name-based like the
+// unordered registry; collisions are rare and suppressible.
+void Linter::CollectFpDecls(const FileData& f) {
+  const std::vector<ScanToken> tokens = Tokenize(f.code_nostrings);
+  for (size_t i = 0; i + 1 < tokens.size(); ++i) {
+    const ScanToken& t = tokens[i];
+    if (!t.ident || (t.text != "double" && t.text != "float")) {
+      continue;
+    }
+    size_t j = i + 1;
+    while (j < tokens.size() &&
+           (tokens[j].text == "&" || tokens[j].text == "*" ||
+            tokens[j].text == "const")) {
+      ++j;
+    }
+    if (j >= tokens.size() || !tokens[j].ident) {
+      continue;
+    }
+    if (j + 1 < tokens.size()) {
+      const std::string& term = tokens[j + 1].text;
+      if (term == ";" || term == "=" || term == "{" || term == "(" ||
+          term == "," || term == ")" || term == "[") {
+        fp_vars_.insert(tokens[j].text);
+      }
+    }
+  }
+}
+
 void Linter::LintFile(const FileData& f) {
   if (InScope(f.rel_path, config_.det_scope) && !DetExempt(f.rel_path)) {
     CheckBannedIdentifiers(f);
@@ -600,9 +644,9 @@ void Linter::LintFile(const FileData& f) {
 }
 
 void Linter::CheckBannedIdentifiers(const FileData& f) {
-  const std::vector<Token> tokens = Tokenize(f.code_nostrings);
+  const std::vector<ScanToken> tokens = Tokenize(f.code_nostrings);
   for (size_t i = 0; i < tokens.size(); ++i) {
-    const Token& t = tokens[i];
+    const ScanToken& t = tokens[i];
     if (!t.ident) {
       continue;
     }
@@ -646,9 +690,9 @@ void Linter::CheckBannedIdentifiers(const FileData& f) {
 // bit-identical at any thread count (DESIGN.md §12). Member accesses are
 // skipped so a field named `mutex` on a project type is not a finding.
 void Linter::CheckParallelPrimitives(const FileData& f) {
-  const std::vector<Token> tokens = Tokenize(f.code_nostrings);
+  const std::vector<ScanToken> tokens = Tokenize(f.code_nostrings);
   for (size_t i = 0; i < tokens.size(); ++i) {
-    const Token& t = tokens[i];
+    const ScanToken& t = tokens[i];
     if (!t.ident || IsMemberAccess(tokens, i) ||
         !ParallelPrimitiveNames().count(t.text)) {
       continue;
@@ -665,9 +709,9 @@ void Linter::CheckParallelPrimitives(const FileData& f) {
 // range-for whose range expression is a (member-access chain of)
 // registered identifier(s), and explicit .begin()/.cbegin()/.rbegin() calls.
 void Linter::CheckUnorderedIteration(const FileData& f) {
-  const std::vector<Token> tokens = Tokenize(f.code_nostrings);
+  const std::vector<ScanToken> tokens = Tokenize(f.code_nostrings);
   for (size_t i = 0; i < tokens.size(); ++i) {
-    const Token& t = tokens[i];
+    const ScanToken& t = tokens[i];
     if (!t.ident) {
       continue;
     }
@@ -750,7 +794,7 @@ void Linter::CheckHeaderHygiene(const FileData& f) {
   if (!HasSuffix(f.rel_path, ".h")) {
     return;
   }
-  const std::vector<Token> tokens = Tokenize(f.code_nostrings);
+  const std::vector<ScanToken> tokens = Tokenize(f.code_nostrings);
   bool has_pragma_once = false;
   for (size_t i = 0; i + 2 < tokens.size(); ++i) {
     if (tokens[i].text == "#" && tokens[i + 1].text == "pragma" &&
@@ -780,10 +824,10 @@ void Linter::CheckHeaderHygiene(const FileData& f) {
 // const/constexpr/constinit are flagged. Functions are recognized by a '('
 // in the statement, type definitions by their keyword.
 void Linter::CheckNonConstGlobals(const FileData& f) {
-  const std::vector<Token> tokens = Tokenize(f.code_nostrings);
+  const std::vector<ScanToken> tokens = Tokenize(f.code_nostrings);
   enum class Ctx { kNamespace, kOther, kInit };
   std::vector<Ctx> stack;  // implicit bottom: namespace (top level)
-  std::vector<const Token*> stmt;
+  std::vector<const ScanToken*> stmt;
 
   auto at_namespace_scope = [&] {
     for (Ctx c : stack) {
@@ -794,7 +838,7 @@ void Linter::CheckNonConstGlobals(const FileData& f) {
     return true;
   };
   auto stmt_has = [&](const char* word) {
-    for (const Token* t : stmt) {
+    for (const ScanToken* t : stmt) {
       if (t->text == word) {
         return true;
       }
@@ -803,7 +847,7 @@ void Linter::CheckNonConstGlobals(const FileData& f) {
   };
 
   for (size_t i = 0; i < tokens.size(); ++i) {
-    const Token& t = tokens[i];
+    const ScanToken& t = tokens[i];
     if (t.text == "{") {
       if (!at_namespace_scope()) {
         stack.push_back(Ctx::kOther);
@@ -849,7 +893,7 @@ void Linter::CheckNonConstGlobals(const FileData& f) {
       if (!skip) {
         // Name for the message: last identifier before '=' (or the end).
         std::string name;
-        for (const Token* s : stmt) {
+        for (const ScanToken* s : stmt) {
           if (s->text == "=") {
             break;
           }

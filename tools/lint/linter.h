@@ -16,7 +16,7 @@
 // `// omega-lint: allow(<rule>)` comment (same line or the line above) or via
 // a checked-in baseline file; any un-baselined finding fails the build.
 //
-// Rule catalogue (see DESIGN.md §9 for rationale):
+// Rule catalogue (see DESIGN.md §9 and §14 for rationale):
 //   det-rand              rand()/srand()/std::random_device/...
 //   det-wallclock         time()/clock()/system_clock/high_resolution_clock
 //   det-time-macro        __DATE__/__TIME__/__TIMESTAMP__
@@ -27,12 +27,35 @@
 //   hygiene-pragma-once   header without #pragma once
 //   hygiene-using-namespace  `using namespace` at header scope
 //   hygiene-nonconst-global  mutable namespace-scope variable in a header
+//
+// v2 flow-aware rules, built on the whole-project call-graph model
+// (tools/lint/model.h, DESIGN.md §14):
+//   det-shard-unsafe-write   a function transitively reachable from a
+//                            WorkerPool / DeterministicReducer::{FirstMatch,
+//                            ArgBest} / ParallelFor(Ranges) shard callback
+//                            writes a member field, a global, or a
+//                            by-reference capture of a frame outside the
+//                            shard, except through an allowlisted per-shard
+//                            scratch type (ShardSlots)
+//   det-rng-substream        fresh RNG engine construction/seeding outside
+//                            src/common/random, or any RNG draw inside
+//                            shard-parallel code (shard layout depends on
+//                            thread count, so even a per-shard stream breaks
+//                            bit-identicality)
+//   det-fp-unordered-acc     floating-point +=/accumulate inside a loop
+//                            iterating an unordered container (type-aware
+//                            successor to det-unordered-iter)
+//   sim-dangling-capture     a lambda handed to a Simulator deferred-
+//                            execution API captures stack locals by
+//                            reference; the callback outlives the frame
 #pragma once
 
 #include <map>
 #include <set>
 #include <string>
 #include <vector>
+
+#include "tools/lint/model.h"
 
 namespace omega_lint {
 
@@ -74,9 +97,10 @@ struct Config {
   // uses steady_clock, which is not banned.
   std::vector<std::string> det_scope = {"src/", "bench/", "examples/",
                                         "tools/", "tests/"};
-  // Scope of det-unordered-iter: simulator code only. Tests may iterate
-  // unordered containers to assert set-equality.
-  std::vector<std::string> unordered_iter_scope = {"src/"};
+  // Scope of det-unordered-iter: simulator, bench, and tool code. Tests may
+  // iterate unordered containers to assert set-equality.
+  std::vector<std::string> unordered_iter_scope = {"src/", "bench/",
+                                                   "tools/"};
   // Files exempt from all determinism rules: the one blessed entropy wrapper.
   std::vector<std::string> det_exempt_files = {"src/common/random.h",
                                                "src/common/random.cc"};
@@ -86,10 +110,55 @@ struct Config {
   // can order results by thread timing, breaking the bit-identical-at-any-
   // thread-count guarantee; all parallelism must go through the sanctioned
   // wrappers — ParallelFor / WorkerPool / DeterministicReducer — which live
-  // under the exempt prefixes below (DESIGN.md §12). Tests and tools may use
-  // primitives directly.
-  std::vector<std::string> parallel_scope = {"src/"};
+  // under the exempt prefixes below (DESIGN.md §12). Tests may use
+  // primitives directly; bench/tool code needs an inline allow() with a
+  // justification.
+  std::vector<std::string> parallel_scope = {"src/", "bench/", "tools/"};
   std::vector<std::string> parallel_exempt_prefixes = {"src/common/"};
+
+  // --- v2 whole-project flow rules (DESIGN.md §14) ---
+
+  // Files fed to the call-graph model and scanned by the flow rules.
+  std::vector<std::string> flow_scope = {"src/", "bench/", "tools/"};
+
+  // Call names whose lambda (or named-lambda) arguments run as shard
+  // callbacks on worker threads.
+  std::vector<std::string> shard_api_names = {"FirstMatch", "ArgBest",
+                                              "ParallelForRanges",
+                                              "ParallelFor"};
+  // `Run` is a shard API only when the receiver looks like a worker pool
+  // (WorkerPool::Run), so Simulator::Run is not a false root.
+  std::string pool_run_name = "Run";
+  std::string pool_receiver_hint = "pool";
+  // Types through which per-shard writes are sanctioned: a ShardSlots view
+  // asserts disjoint per-index slots (src/common/deterministic_reduce.h).
+  std::vector<std::string> shard_scratch_types = {"ShardSlots"};
+  // std:: container methods that mutate the receiver; calling one on a
+  // shared receiver from shard-reachable code is a write.
+  std::vector<std::string> mutating_methods = {
+      "push_back", "pop_back",      "emplace_back", "emplace_front",
+      "push_front", "pop_front",    "emplace",      "insert",
+      "erase",      "clear",        "resize",       "assign",
+      "reserve",    "swap",         "push",         "pop",
+      "merge",      "extract",      "fill",         "sort",
+      "splice",     "remove",       "shrink_to_fit"};
+
+  // det-rng-substream: std engines are banned outside src/common/random;
+  // project Rng construction must mention a seed-derivation marker.
+  std::vector<std::string> rng_engine_names = {
+      "mt19937",      "mt19937_64",   "minstd_rand", "minstd_rand0",
+      "ranlux24",     "ranlux48",     "ranlux24_base", "ranlux48_base",
+      "knuth_b",      "default_random_engine"};
+  std::string rng_type_name = "Rng";
+  std::vector<std::string> rng_seed_markers = {"SubstreamSeed", "Fork",
+                                               "seed", "Seed"};
+  std::vector<std::string> rng_draw_methods = {"Next", "NextDouble",
+                                               "NextBounded", "NextRange",
+                                               "NextBool", "Fork"};
+
+  // sim-dangling-capture: deferred-execution APIs whose callbacks outlive
+  // the calling frame.
+  std::vector<std::string> deferred_apis = {"ScheduleAt", "ScheduleAfter"};
 };
 
 // Parses a layers.conf file into config->layers. Format, one layer per line:
@@ -129,6 +198,7 @@ class Linter {
 
   void LoadFile(const std::string& rel_path, const std::string& content);
   void CollectUnorderedDecls(const FileData& f);
+  void CollectFpDecls(const FileData& f);
   void LintFile(const FileData& f);
   void CheckBannedIdentifiers(const FileData& f);
   void CheckParallelPrimitives(const FileData& f);
@@ -138,6 +208,33 @@ class Linter {
   void CheckLayerOrder(const FileData& f);
   void CheckIncludeCycles();
   void Finish();  // whole-tree passes + sort/suppress
+
+  // v2 flow rules over the whole-project model (tools/lint/flow_rules.cc).
+  void BuildModel();
+  void CheckShardSafety();
+  void CheckRngDiscipline();
+  void CheckFpUnorderedAcc();
+  void CheckDanglingCaptures();
+  // Scans one shard-reachable function for unsafe writes and RNG draws;
+  // appends newly reachable (callee, shared-self) states to the worklist.
+  struct ShardState {
+    int fn = -1;
+    bool self_shared = true;
+    int root = -1;  // the shard callback this traversal started from
+    bool operator<(const ShardState& o) const {
+      if (fn != o.fn) return fn < o.fn;
+      if (self_shared != o.self_shared) return self_shared < o.self_shared;
+      return root < o.root;
+    }
+  };
+  void ScanShardFunction(const ShardState& state,
+                         std::vector<ShardState>* work);
+  // True if a write through `root` from `fn` lands in state shared across
+  // shard invocations; *why describes the storage class for the message.
+  bool RootIsShared(const FunctionDef& fn, bool self_shared, int shard_root,
+                    const std::string& root, std::string* why) const;
+  bool IsScratchType(const std::string& type) const;
+  int FindNamedLambda(const FunctionDef& fn, const std::string& name) const;
 
   void AddFinding(const FileData& f, int line, const std::string& rule,
                   const std::string& message);
@@ -154,6 +251,11 @@ class Linter {
   std::set<std::string> unordered_vars_;
   // Type-alias names bound to unordered containers (`using X = ...`).
   std::set<std::string> unordered_types_;
+  // Identifiers declared with double/float anywhere in flow_scope (locals,
+  // params, members) — the accumulation targets of det-fp-unordered-acc.
+  std::set<std::string> fp_vars_;
+  // Whole-project syntactic model backing the flow rules.
+  ProjectModel model_;
   // rel_path -> (line, included rel_path) for project-local includes.
   std::map<std::string, std::vector<std::pair<int, std::string>>> includes_;
   std::vector<Finding> findings_;

@@ -22,6 +22,9 @@ void Usage(std::ostream& os) {
         "  --baseline FILE   accepted-findings file (default ROOT/tools/\n"
         "                    lint/baseline.txt)\n"
         "  --write-baseline  rewrite the baseline to the current findings\n"
+        "  --require-empty-baseline  exit 1 if the baseline file contains\n"
+        "                    any entry (CI ratchet: debt must be fixed, not\n"
+        "                    parked)\n"
         "  --list-rules      print every rule ID and exit\n";
 }
 
@@ -32,6 +35,7 @@ int main(int argc, char** argv) {
   std::string layers_path;
   std::string baseline_path;
   bool write_baseline = false;
+  bool require_empty_baseline = false;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     auto value = [&](const char* flag) -> std::string {
@@ -49,6 +53,8 @@ int main(int argc, char** argv) {
       baseline_path = value("--baseline");
     } else if (arg == "--write-baseline") {
       write_baseline = true;
+    } else if (arg == "--require-empty-baseline") {
+      require_empty_baseline = true;
     } else if (arg == "--list-rules") {
       for (const std::string& id : omega_lint::AllRuleIds()) {
         std::cout << id << "\n";
@@ -105,6 +111,13 @@ int main(int argc, char** argv) {
   }
 
   const auto baseline = omega_lint::LoadBaseline(baseline_path);
+  if (require_empty_baseline && !baseline.empty()) {
+    std::cout << "omega_lint: baseline " << baseline_path << " holds "
+              << baseline.size()
+              << " entrie(s) but --require-empty-baseline is set; fix the "
+                 "findings instead of parking them\n";
+    return 1;
+  }
   const auto fresh = omega_lint::FilterBaselined(linter.findings(), baseline);
   for (const auto& finding : fresh) {
     std::cout << finding.file << ":" << finding.line << ": [" << finding.rule

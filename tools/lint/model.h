@@ -1,0 +1,133 @@
+// omega_lint v2 project model: a lightweight, dependency-free (std:: only)
+// syntactic model of the whole scanned tree, built from the same
+// comment/string-stripped text the single-pass rules scan.
+//
+// It is deliberately NOT a C++ front end. A scope-stack parser recognizes
+// namespaces, classes, function/method/lambda bodies, local and parameter
+// declarations, and call sites with a coarse receiver classification. On top
+// of that, ProjectModel links a symbol table and resolves calls
+// conservatively: exact qualified matches first, then receiver-type matches
+// (including derived-class overrides, so virtual dispatch is over-
+// approximated), then every definition sharing the bare name. Ambiguity
+// always widens the answer — the flow rules built on this model (DESIGN.md
+// §14) prefer false reachability over missed reachability.
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace omega_lint {
+
+// One lexed token: an identifier or a single punctuation character.
+// Numeric literals are skipped (no rule needs them); offsets index into the
+// stripped text, which is byte-aligned with the original file.
+struct Token {
+  std::string text;
+  size_t offset = 0;
+  bool ident = false;
+};
+
+std::vector<Token> Lex(const std::string& code);
+
+// How a local name binds storage. kRefNonLocal marks the dangerous case:
+// a reference whose initializer roots outside the function's own frame
+// (member, global, or unknown), so writes through it escape the frame.
+enum class DeclKind { kValue, kPointer, kRefLocal, kRefNonLocal };
+
+struct LocalDecl {
+  DeclKind kind = DeclKind::kValue;
+  std::string type;  // principal type identifier; "" when unrecognizable
+};
+
+// Receiver classification for `recv.Method(...)` call sites.
+// kFrameLocal: the receiver chain roots at a by-value local/parameter of the
+// calling function, so the callee's writes to its own members stay inside
+// the caller's frame. kShared: anything else (member, global, reference
+// parameter, unknown) — the callee's member writes touch shared state.
+enum class ReceiverKind { kNone, kFrameLocal, kShared };
+
+struct CallSite {
+  std::string callee;           // bare name of the called function
+  std::string qualifier;        // "Cls" for explicit Cls::fn(...) calls
+  std::string receiver_root;    // root identifier of the receiver chain
+  std::string receiver_type;    // declared type of that root, "" unknown
+  ReceiverKind receiver = ReceiverKind::kNone;
+  size_t token_index = 0;       // index of the callee token in file tokens
+  std::vector<int> lambda_args;         // function ids of inline lambda args
+  std::vector<std::string> ident_args;  // arguments that are one identifier
+};
+
+struct LambdaInfo {
+  bool default_ref = false;   // [&]
+  bool default_copy = false;  // [=]
+  bool captures_this = false;
+  std::vector<std::string> ref_captures;   // [&x]
+  std::vector<std::string> copy_captures;  // [x], [x = expr]
+};
+
+struct FunctionDef {
+  int id = -1;
+  std::string file;
+  std::string name;        // bare name; "<lambda>" for lambdas
+  std::string class_name;  // enclosing class, "" for free functions
+  bool is_lambda = false;
+  int enclosing = -1;      // enclosing FunctionDef id (lambdas, local defs)
+  LambdaInfo lambda;
+  size_t name_token = 0;   // token index of the name (line lookup)
+  size_t body_begin = 0;   // token index of the opening '{'
+  size_t body_end = 0;     // token index of the matching '}'
+  std::map<std::string, LocalDecl> locals;  // params + locals by name
+  std::map<std::string, int> local_lambdas;  // `auto f = [...]...` by name
+  std::vector<CallSite> calls;
+};
+
+struct ClassInfo {
+  std::string name;
+  std::vector<std::string> bases;
+  // Member name -> principal type identifier (used for receiver typing).
+  std::map<std::string, std::string> member_types;
+};
+
+class ProjectModel {
+ public:
+  // Parses one file's stripped text into the model. Call once per file, then
+  // resolve calls via the lookup helpers; there is no separate link step.
+  void AddFile(const std::string& rel_path, const std::string& code_nostrings);
+
+  const std::vector<FunctionDef>& functions() const { return functions_; }
+  const FunctionDef& function(int id) const { return functions_[id]; }
+  const std::vector<Token>& tokens(const std::string& rel_path) const;
+  const ClassInfo* class_info(const std::string& name) const;
+
+  // All function ids sharing a bare name, across classes and files.
+  const std::vector<int>* by_name(const std::string& name) const;
+
+  // Definitions of `cls::name` plus overrides in classes deriving from cls
+  // (transitively): the virtual-dispatch over-approximation.
+  std::vector<int> MethodsOf(const std::string& cls,
+                             const std::string& name) const;
+
+  bool DerivesFrom(const std::string& derived, const std::string& base) const;
+
+  // Resolves a call conservatively. Order: local lambda named `callee` in
+  // the caller or a lexical ancestor; explicit `qualifier::callee`;
+  // `receiver_type::callee`; a method of the caller's own class (or a base)
+  // when the call is unqualified and receiver-less; otherwise every
+  // definition with the bare name. Unknown names resolve to {}.
+  std::vector<int> Resolve(const FunctionDef& caller,
+                           const CallSite& call) const;
+
+ private:
+  std::vector<FunctionDef> functions_;
+  std::map<std::string, std::vector<Token>> file_tokens_;
+  std::map<std::string, ClassInfo> classes_;
+  std::map<std::string, std::vector<int>> by_name_;
+  // Namespace names seen so far: distinguishes `ns::Fn` from `Cls::Fn` in
+  // out-of-line definitions and qualified calls.
+  std::set<std::string> namespaces_;
+};
+
+}  // namespace omega_lint
