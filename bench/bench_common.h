@@ -58,6 +58,25 @@ inline uint32_t BenchIntraTrialThreads() {
   return 1;
 }
 
+// FederationOptions::window_parallelism for federation bench trials:
+// $OMEGA_FED_WINDOW_THREADS (default 0 = shared master queue; >= 1 runs the
+// cells in conservative lock-step windows on that many threads, DESIGN.md
+// §15). Mirrors $OMEGA_INTRA_TRIAL_THREADS: results are bit-identical at any
+// value — CI re-runs the fig_federation smoke golden at 2 to prove it — so
+// the knob only trades wall-clock. Recorded in BENCH provenance via
+// SweepReport::fed_window_threads.
+inline uint32_t BenchFedWindowThreads() {
+  if (const char* env = std::getenv("OMEGA_FED_WINDOW_THREADS");
+      env != nullptr && env[0] != '\0') {
+    char* end = nullptr;
+    const unsigned long v = std::strtoul(env, &end, 10);
+    if (end != env) {
+      return static_cast<uint32_t>(v);
+    }
+  }
+  return 0;
+}
+
 // Writes the sweep's BENCH_<figure>.json and prints a one-line timing
 // summary (trials, threads, wall-clock, measured speedup vs serial).
 inline void FinishSweep(const SweepRunner& runner) {

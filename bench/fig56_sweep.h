@@ -5,6 +5,7 @@
 // owns the SweepRunner and decides what summary metrics go into its JSON.
 #pragma once
 
+#include <cstdio>
 #include <string>
 #include <vector>
 
@@ -54,7 +55,8 @@ inline std::vector<SweepResult> RunFig56Sweep(const Duration horizon,
     }
   }
   runner.report().AddMetric("sim_days", horizon.ToDays());
-  return runner.Run(points.size(), [&](const TrialContext& ctx) {
+  std::vector<SweepResult> results =
+      runner.Run(points.size(), [&](const TrialContext& ctx) {
     const Point& p = points[ctx.index];
     SimOptions opts = base_options;
     opts.horizon = horizon;
@@ -99,6 +101,16 @@ inline std::vector<SweepResult> RunFig56Sweep(const Duration horizon,
     }
     return r;
   });
+  // Per-trial attribution for BENCH JSON (after Run, which resets the labels):
+  // label trial i with its grid point so trial_wall_seconds[i] can be read
+  // without re-deriving the sweep order.
+  for (const Point& p : points) {
+    char label[64];
+    std::snprintf(label, sizeof(label), "%s-%s-tjob%g", p.arch, p.cluster,
+                  p.t_job);
+    runner.report().trial_labels.emplace_back(label);
+  }
+  return results;
 }
 
 }  // namespace omega

@@ -60,6 +60,7 @@ std::string SweepReport::ToJson() const {
   os << ",\n  \"base_seed\": " << base_seed;
   os << ",\n  \"threads\": " << threads;
   os << ",\n  \"intra_trial_threads\": " << intra_trial_threads;
+  os << ",\n  \"fed_window_threads\": " << fed_window_threads;
   os << ",\n  \"trials\": " << trials;
   os << ",\n  \"wall_seconds\": ";
   AppendNumber(os, wall_seconds);
@@ -74,7 +75,18 @@ std::string SweepReport::ToJson() const {
     }
     AppendNumber(os, trial_wall_seconds[i]);
   }
-  os << "],\n  \"metrics\": {";
+  os << "]";
+  if (!trial_labels.empty()) {
+    os << ",\n  \"trial_labels\": [";
+    for (size_t i = 0; i < trial_labels.size(); ++i) {
+      if (i > 0) {
+        os << ", ";
+      }
+      AppendString(os, trial_labels[i]);
+    }
+    os << "]";
+  }
+  os << ",\n  \"metrics\": {";
   for (size_t i = 0; i < metrics.size(); ++i) {
     if (i > 0) {
       os << ", ";
@@ -135,6 +147,7 @@ SweepRunner::SweepRunner(std::string name, uint64_t base_seed,
 void SweepRunner::Begin(size_t num_trials) {
   report_.trials = num_trials;
   report_.trial_wall_seconds.assign(num_trials, 0.0);
+  report_.trial_labels.clear();  // the bench re-labels each grid after Run
   report_.wall_seconds = 0.0;
   size_t threads = max_threads_;
   if (threads == 0) {

@@ -160,7 +160,9 @@ void ClusterSimulation::PrepareRun() {
 }
 
 void ClusterSimulation::UseSharedSimulator(Simulator* sim) {
-  OMEGA_CHECK(sim != nullptr);
+  if (sim == nullptr) {
+    return;  // keep the owned per-cell simulator (windowed federation)
+  }
   OMEGA_CHECK(owned_sim_ == nullptr || owned_sim_->PendingEvents() == 0)
       << "UseSharedSimulator must be called before any event is scheduled";
   sim_ = sim;

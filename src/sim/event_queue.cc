@@ -42,12 +42,12 @@ void EventQueue::Reserve(size_t n) {
   heap_.reserve(n);
 }
 
-EventId EventQueue::Push(SimTime time, Callback callback) {
+EventId EventQueue::Push(SimTime time, uint32_t lane, Callback callback) {
   const uint32_t slot = AcquireSlot();
   Slot& s = slots_[slot];
   s.callback = std::move(callback);
   const size_t pos = heap_.size();
-  heap_.push_back(Entry{time, next_sequence_++, slot});
+  heap_.push_back(Entry{time, next_sequence_++, slot, lane});
   s.heap_pos = static_cast<uint32_t>(pos);
   SiftUp(pos);
   return EncodeId(s.generation, slot);
@@ -76,11 +76,14 @@ SimTime EventQueue::PeekTime() const {
   return heap_[0].time;
 }
 
-EventQueue::Callback EventQueue::Pop(SimTime* time_out) {
+EventQueue::Callback EventQueue::Pop(SimTime* time_out, uint32_t* lane_out) {
   OMEGA_CHECK(!heap_.empty());
   const uint32_t slot = heap_[0].slot;
   if (time_out != nullptr) {
     *time_out = heap_[0].time;
+  }
+  if (lane_out != nullptr) {
+    *lane_out = heap_[0].lane;
   }
   Callback cb = std::move(slots_[slot].callback);
   RemoveFromHeap(0);

@@ -1,8 +1,14 @@
 // Priority queue of timestamped events with O(log n) insertion and O(log n)
 // in-place cancellation.
 //
-// Ties on the timestamp are broken by insertion order, which makes simulation
-// runs fully deterministic.
+// Ties on the timestamp are broken by (lane, insertion order), which makes
+// simulation runs fully deterministic. Lanes exist for the windowed
+// federation mode (DESIGN.md §15): the shared-queue federation tags each
+// cell's events with a distinct lane so that same-microsecond events from
+// different logical streams order by stream, not by global push order — the
+// one total order a barrier-synchronized parallel execution can reproduce
+// exactly. Single-stream users never set a lane; all their events share lane
+// 0 and the order degenerates to the classic (time, insertion order).
 #pragma once
 
 #include <cstdint>
@@ -30,8 +36,15 @@ class EventQueue {
  public:
   using Callback = std::function<void()>;
 
-  // Adds an event firing at `time`. Returns an id usable with Cancel().
-  EventId Push(SimTime time, Callback callback);
+  // Adds an event firing at `time` on lane 0. Returns an id usable with
+  // Cancel().
+  EventId Push(SimTime time, Callback callback) {
+    return Push(time, 0, std::move(callback));
+  }
+
+  // Adds an event firing at `time` on `lane`. At equal times, lower lanes
+  // fire first; within a lane, insertion order.
+  EventId Push(SimTime time, uint32_t lane, Callback callback);
 
   // Cancels a previously pushed event. Cancelling an already-fired or unknown
   // id is a no-op. Returns true if the event was pending.
@@ -44,8 +57,8 @@ class EventQueue {
   SimTime PeekTime() const;
 
   // Removes and returns the earliest live event's callback. Must not be
-  // called when Empty().
-  Callback Pop(SimTime* time_out);
+  // called when Empty(). `lane_out`, when non-null, receives the event's lane.
+  Callback Pop(SimTime* time_out, uint32_t* lane_out = nullptr);
 
   // Count of live (pushed, not yet fired or cancelled) events.
   size_t PendingCount() const { return heap_.size(); }
@@ -73,10 +86,14 @@ class EventQueue {
     SimTime time;
     uint64_t sequence;
     uint32_t slot;
+    uint32_t lane;
 
     bool Before(const Entry& other) const {
       if (time != other.time) {
         return time < other.time;
+      }
+      if (lane != other.lane) {
+        return lane < other.lane;
       }
       return sequence < other.sequence;
     }

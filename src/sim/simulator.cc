@@ -6,7 +6,7 @@ namespace omega {
 
 EventId Simulator::ScheduleAt(SimTime when, std::function<void()> fn) {
   OMEGA_CHECK(when >= now_) << "scheduling into the past: " << when << " < " << now_;
-  return queue_.Push(when, std::move(fn));
+  return queue_.Push(when, lane_, std::move(fn));
 }
 
 EventId Simulator::ScheduleAfter(Duration delay, std::function<void()> fn) {
@@ -14,22 +14,38 @@ EventId Simulator::ScheduleAfter(Duration delay, std::function<void()> fn) {
   return ScheduleAt(now_ + delay, std::move(fn));
 }
 
-int64_t Simulator::RunUntil(SimTime end) {
+int64_t Simulator::RunLoop(SimTime end, bool inclusive) {
   int64_t processed = 0;
+  const uint32_t ambient = lane_;
   while (!queue_.Empty()) {
-    if (queue_.PeekTime() > end) {
+    const SimTime next = queue_.PeekTime();
+    if (inclusive ? next > end : next >= end) {
       break;
     }
     SimTime when;
-    auto fn = queue_.Pop(&when);
+    uint32_t lane;
+    auto fn = queue_.Pop(&when, &lane);
     now_ = when;
+    lane_ = lane;  // follow-up events an event schedules stay in its stream
     fn();
     ++processed;
   }
-  if (now_ < end && end != SimTime::Max()) {
+  lane_ = ambient;
+  if (inclusive && now_ < end && end != SimTime::Max()) {
     now_ = end;
   }
   return processed;
+}
+
+int64_t Simulator::RunUntil(SimTime end) { return RunLoop(end, true); }
+
+int64_t Simulator::RunUntilBefore(SimTime end) { return RunLoop(end, false); }
+
+void Simulator::AdvanceTo(SimTime t) {
+  OMEGA_CHECK(t >= now_) << "advancing into the past: " << t << " < " << now_;
+  OMEGA_CHECK(queue_.Empty() || queue_.PeekTime() >= t)
+      << "AdvanceTo would jump over a pending event";
+  now_ = t;
 }
 
 }  // namespace omega

@@ -22,7 +22,8 @@ class Simulator {
 
   SimTime Now() const { return now_; }
 
-  // Schedules `fn` to run at absolute time `when` (>= Now()).
+  // Schedules `fn` to run at absolute time `when` (>= Now()) on the current
+  // ambient lane (see SetLane).
   EventId ScheduleAt(SimTime when, std::function<void()> fn);
 
   // Schedules `fn` to run `delay` after Now().
@@ -31,18 +32,62 @@ class Simulator {
   // Cancels a pending event; no-op if it already fired.
   bool Cancel(EventId id) { return queue_.Cancel(id); }
 
+  // Sets the ambient lane tagged onto subsequently scheduled events. At equal
+  // times, lower lanes fire first; within a lane, insertion order. While an
+  // event callback runs, the ambient lane is that event's lane (so an event's
+  // follow-ups inherit its stream), restored when RunUntil returns. Lane 0 is
+  // the default; single-stream users never call this.
+  void SetLane(uint32_t lane) { lane_ = lane; }
+  uint32_t lane() const { return lane_; }
+
   // Runs events until the queue is empty or the clock passes `end`. Events at
   // exactly `end` are executed. Returns the number of events processed.
   int64_t RunUntil(SimTime end);
 
+  // Runs events strictly before `end`: events at exactly `end` stay pending
+  // and the clock is left at the last executed event (it does NOT advance to
+  // `end`). The windowed federation uses this to stop each cell at an open
+  // window boundary.
+  int64_t RunUntilBefore(SimTime end);
+
   // Runs until no events remain.
   int64_t Run() { return RunUntil(SimTime::Max()); }
+
+  // Time of the earliest pending event, or SimTime::Max() when idle.
+  SimTime NextEventTime() const {
+    return queue_.Empty() ? SimTime::Max() : queue_.PeekTime();
+  }
+
+  // Moves the clock forward to `t` without running anything. Requires
+  // t >= Now() and no pending event before `t` (jumping over events would
+  // break causality).
+  void AdvanceTo(SimTime t);
 
   size_t PendingEvents() const { return queue_.PendingCount(); }
 
  private:
+  int64_t RunLoop(SimTime end, bool inclusive);
+
   SimTime now_ = SimTime::Zero();
+  uint32_t lane_ = 0;
   EventQueue queue_;
+};
+
+// Sets the simulator's ambient lane for the current scope and restores the
+// previous lane on exit. The shared-queue federation wraps each scheduling
+// site with the lane of the logical stream the event belongs to.
+class ScopedLane {
+ public:
+  ScopedLane(Simulator& sim, uint32_t lane) : sim_(sim), prev_(sim.lane()) {
+    sim_.SetLane(lane);
+  }
+  ~ScopedLane() { sim_.SetLane(prev_); }
+  ScopedLane(const ScopedLane&) = delete;
+  ScopedLane& operator=(const ScopedLane&) = delete;
+
+ private:
+  Simulator& sim_;
+  uint32_t prev_;
 };
 
 }  // namespace omega

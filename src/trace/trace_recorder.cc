@@ -56,12 +56,13 @@ uint16_t TraceRecorder::RegisterTrack(const std::string& name) {
 }
 
 void TraceRecorder::Append(const TraceEvent& e) {
-  const size_t idx = static_cast<size_t>(total_) % capacity_;
+  const size_t idx = static_cast<size_t>(appended_) % capacity_;
   auto& slab = slabs_[idx / kSlabSize];
   if (slab == nullptr) {
     slab = std::make_unique<std::array<TraceEvent, kSlabSize>>();
   }
   (*slab)[idx % kSlabSize] = e;
+  ++appended_;
   ++total_;
   const auto t = static_cast<size_t>(e.type);
   ++counts_[t];
@@ -69,22 +70,32 @@ void TraceRecorder::Append(const TraceEvent& e) {
   arg1_sums_[t] += e.arg1;
 }
 
+void TraceRecorder::AbsorbCounts(TraceEventType type, int64_t count,
+                                 int64_t arg0_sum, int64_t arg1_sum) {
+  const auto t = static_cast<size_t>(type);
+  counts_[t] += count;
+  arg0_sums_[t] += arg0_sum;
+  arg1_sums_[t] += arg1_sum;
+  total_ += count;
+}
+
 const TraceEvent& TraceRecorder::At(size_t ring_index) const {
   return (*slabs_[ring_index / kSlabSize])[ring_index % kSlabSize];
 }
 
 int64_t TraceRecorder::Dropped() const {
-  return std::max<int64_t>(0, total_ - static_cast<int64_t>(capacity_));
+  return total_ - static_cast<int64_t>(Retained());
 }
 
 size_t TraceRecorder::Retained() const {
-  return std::min<size_t>(static_cast<size_t>(total_), capacity_);
+  return std::min<size_t>(static_cast<size_t>(appended_), capacity_);
 }
 
 void TraceRecorder::ForEachRetained(
     const std::function<void(const TraceEvent&)>& fn) const {
   const size_t retained = Retained();
-  const size_t start = static_cast<size_t>(total_ - static_cast<int64_t>(retained));
+  const size_t start =
+      static_cast<size_t>(appended_ - static_cast<int64_t>(retained));
   for (size_t i = 0; i < retained; ++i) {
     fn(At((start + i) % capacity_));
   }

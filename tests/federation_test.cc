@@ -326,6 +326,134 @@ TEST(FederationTraceTest, TracksAreNamespacedPerCell) {
   EXPECT_NE(trace.find("cell1/"), std::string::npos);
 }
 
+// --- windowed execution (DESIGN.md §15) ------------------------------------
+
+FederationOptions Windowed(FederationOptions f, uint32_t threads) {
+  f.window_parallelism = threads;
+  return f;
+}
+
+// Runs the same configuration through the shared queue and through windowed
+// execution at 1, 2, and 8 threads, demanding the full fingerprint and the
+// byte-exact JSON-lines trace stream agree every time.
+void ExpectWindowedMatchesShared(const SimOptions& options,
+                                 const FederationOptions& fed_opts) {
+  std::string shared_trace;
+  const FedResult shared = RunFed(options, fed_opts, &shared_trace);
+  EXPECT_FALSE(shared_trace.empty());
+  for (uint32_t threads : {1u, 2u, 8u}) {
+    SCOPED_TRACE("window_parallelism=" + std::to_string(threads));
+    std::string windowed_trace;
+    const FedResult windowed =
+        RunFed(options, Windowed(fed_opts, threads), &windowed_trace);
+    ExpectSameResult(shared, windowed);
+    EXPECT_EQ(shared_trace, windowed_trace) << "trace streams diverge";
+  }
+}
+
+// The headline differential: the default gossip/spillover configuration,
+// windowed at 1/2/8 threads, bit-identical to the shared-queue interleaving.
+TEST(FederationWindowedTest, BitIdenticalSharedVsWindowed) {
+  ExpectWindowedMatchesShared(BaseOptions(/*seed=*/31), BaseFed());
+}
+
+// Static-hash routing never reads summaries, so windows stretch between
+// transfer deliveries; the stream must still match exactly.
+TEST(FederationWindowedTest, BitIdenticalUnderStaticRouting) {
+  FederationOptions f = BaseFed();
+  f.routing = FederationRouting::kStaticHash;
+  ExpectWindowedMatchesShared(BaseOptions(/*seed=*/32), f);
+}
+
+// Windowed execution engages (it is not silently falling back to the shared
+// path) and reports coherent window accounting.
+TEST(FederationWindowedTest, EngagesAndReportsWindowStats) {
+  const SimOptions options = BaseOptions(/*seed=*/33);
+  FederationSim fed(TestCluster(24), options, Sched("batch"), Sched("service"),
+                    Windowed(BaseFed(), 2));
+  EXPECT_TRUE(fed.windowed_active());
+  fed.Run();
+  EXPECT_GT(fed.WindowCount(), 0);
+  EXPECT_GT(fed.MeanWindowWidthSecs(), 0.0);
+  EXPECT_GE(fed.BarrierStallFraction(), 0.0);
+  EXPECT_LE(fed.BarrierStallFraction(), 1.0);
+}
+
+// Configurations the conservative lookahead cannot bound fall back to the
+// shared queue — and say so — rather than risking divergence.
+TEST(FederationWindowedTest, UnsupportedConfigsFallBackToShared) {
+  FederationOptions zero_delay = BaseFed();
+  zero_delay.transfer_delay = Duration::Zero();
+  EXPECT_TRUE(FederationSim::WindowedUnsupported(zero_delay));
+
+  FederationOptions live = BaseFed();
+  live.gossip_interval = Duration::Zero();
+  EXPECT_TRUE(FederationSim::WindowedUnsupported(live));
+
+  // Without spillover, neither case needs mid-window reads: both are safe.
+  FederationOptions no_spill_zero_delay = zero_delay;
+  no_spill_zero_delay.spillover = SpilloverPolicy::kNone;
+  EXPECT_FALSE(FederationSim::WindowedUnsupported(no_spill_zero_delay));
+
+  FederationSim fed(TestCluster(24), BaseOptions(/*seed=*/34), Sched("batch"),
+                    Sched("service"), Windowed(live, 4));
+  EXPECT_FALSE(fed.windowed_active());
+  fed.Run();
+  EXPECT_EQ(fed.WindowCount(), 0);
+
+  // The fallback still produces the canonical result.
+  const FedResult a = RunFed(BaseOptions(/*seed=*/34), live);
+  const FedResult b = RunFed(BaseOptions(/*seed=*/34), Windowed(live, 4));
+  ExpectSameResult(a, b);
+}
+
+// Live summaries without spillover avoid the fallback: windows are bounded
+// by the arrival stream itself, and the differential must still hold.
+TEST(FederationWindowedTest, LiveSummariesWithoutSpillover) {
+  FederationOptions f = BaseFed();
+  f.gossip_interval = Duration::Zero();
+  f.spillover = SpilloverPolicy::kNone;
+  ASSERT_FALSE(FederationSim::WindowedUnsupported(f));
+  ExpectWindowedMatchesShared(BaseOptions(/*seed=*/35), f);
+}
+
+// --- window-boundary edges --------------------------------------------------
+
+// Transfers that land exactly on a gossip barrier: with transfer_delay equal
+// to the (jitter-free) gossip interval, every delivery collides with a
+// publication instant. Master-lane ordering must keep the two modes aligned.
+TEST(FederationWindowEdgeTest, TransferExactlyAtBarrier) {
+  FederationOptions f = BaseFed();
+  f.gossip_jitter = Duration::Zero();
+  f.transfer_delay = f.gossip_interval;  // deliveries hit publish instants
+  ExpectWindowedMatchesShared(BaseOptions(/*seed=*/41), f);
+}
+
+// Gossip published at the exact instant a window opens: zero delivery delay
+// makes every summary land at its publication barrier, the window's open
+// edge. The router must see it on the next decision in both modes.
+TEST(FederationWindowEdgeTest, GossipAtWindowOpen) {
+  FederationOptions f = BaseFed();
+  f.gossip_delay = Duration::Zero();
+  f.gossip_jitter = Duration::Zero();
+  ExpectWindowedMatchesShared(BaseOptions(/*seed=*/42), f);
+}
+
+// Pending-timeout watchdogs racing cell progress: a timeout short enough to
+// fire while jobs are still queued makes watchdog-vs-completion ties common.
+// The watchdog runs on the master lane, so it always wins a same-instant race
+// in both modes.
+TEST(FederationWindowEdgeTest, WatchdogRacesSpill) {
+  FederationOptions f = BaseFed();
+  f.pending_timeout = Duration::FromSeconds(10);
+  f.max_spills = 3;
+  SimOptions options = BaseOptions(/*seed=*/43);
+  options.batch_rate_multiplier = 2.0;  // queue pressure => real timeouts
+  const FedResult probe = RunFed(options, f);
+  EXPECT_GT(probe.timeouts, 0) << "edge not exercised: no watchdog fired";
+  ExpectWindowedMatchesShared(options, f);
+}
+
 // The federation report nests one RunReport per cell under a fleet section
 // and renders as one JSON object.
 TEST(FederationReportTest, BuildsAndSerializes) {

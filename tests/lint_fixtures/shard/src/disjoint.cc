@@ -1,0 +1,28 @@
+// Disjoint-tree barrier (RunDisjoint, DESIGN.md §15): each callback owns the
+// i-th object tree, so mutating it is sanctioned; globals are still shared.
+#include <cstddef>
+#include <vector>
+
+namespace omega {
+
+int disjoint_global = 0;
+
+struct Cell {
+  void Advance() { steps_ += 1; }
+  int steps_ = 0;
+};
+
+void DisjointTreesAreClean(WorkerPool* pool, std::vector<Cell*>& cells) {
+  RunDisjoint(pool, cells.size(), [&](size_t i) {
+    cells[i]->Advance();    // per-index tree: member write is sanctioned
+    cells[i]->steps_ += 1;  // direct field write on the i-th tree: clean
+  });
+}
+
+void DisjointGlobalWriteStillFlags(WorkerPool* pool) {
+  RunDisjoint(pool, 4, [&](size_t i) {
+    disjoint_global += static_cast<int>(i);  // global: flagged
+  });
+}
+
+}  // namespace omega

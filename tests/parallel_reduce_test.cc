@@ -18,7 +18,10 @@
 #include "src/common/random.h"
 #include "src/common/worker_pool.h"
 #include "src/hifi/scoring_placer.h"
+#include "src/mesos/mesos_simulation.h"
 #include "src/scheduler/placement.h"
+#include "src/workload/cluster_config.h"
+#include "tests/bitwise_eq.h"
 
 namespace omega {
 namespace {
@@ -635,6 +638,49 @@ TEST(PlacerParallelDifferentialTest, ScoringPlacerFullScanFallbackBitIdentical) 
     }
     EXPECT_EQ(seq_rng.Next(), par_rng.Next());
   }
+}
+
+// ---------------------------------------------------------------------------
+// Mesos DRF argmin differential: the allocator's PickFramework shards its
+// dominant-share scan across the intra-trial pool; a full simulation with
+// threads must be bit-identical to the sequential reference.
+// ---------------------------------------------------------------------------
+
+TEST(MesosDrfParallelTest, FullSimulationBitIdenticalAcrossThreads) {
+  SimOptions sequential;
+  sequential.horizon = Duration::FromHours(2);
+  sequential.seed = 17;
+  SimOptions sharded = sequential;
+  sharded.intra_trial_threads = 4;
+  MesosSimulation seq(TestCluster(16), sequential, SchedulerConfig{},
+                      SchedulerConfig{});
+  MesosSimulation par(TestCluster(16), sharded, SchedulerConfig{},
+                      SchedulerConfig{});
+  seq.Run();
+  par.Run();
+  auto scheduled = [](MesosSimulation& s) {
+    return s.batch_framework().metrics().JobsScheduled(JobType::kBatch) +
+           s.service_framework().metrics().JobsScheduled(JobType::kService);
+  };
+  EXPECT_GT(scheduled(seq), 0);
+  EXPECT_EQ(scheduled(seq), scheduled(par));
+  EXPECT_EQ(seq.JobsSubmittedTotal(), par.JobsSubmittedTotal());
+  EXPECT_EQ(seq.TotalJobsAbandoned(), par.TotalJobsAbandoned());
+  EXPECT_TRUE(SameBits(
+      seq.batch_framework().metrics().MeanWait(JobType::kBatch),
+      par.batch_framework().metrics().MeanWait(JobType::kBatch)));
+  EXPECT_TRUE(SameBits(
+      seq.service_framework().metrics().MeanWait(JobType::kService),
+      par.service_framework().metrics().MeanWait(JobType::kService)));
+  EXPECT_TRUE(SameBits(seq.allocator().DominantShare(&seq.batch_framework()),
+                       par.allocator().DominantShare(&par.batch_framework())));
+  uint64_t seq_sum = 0;
+  uint64_t par_sum = 0;
+  for (MachineId m = 0; m < seq.cell().NumMachines(); ++m) {
+    seq_sum += seq.cell().machine(m).seqnum;
+    par_sum += par.cell().machine(m).seqnum;
+  }
+  EXPECT_EQ(seq_sum, par_sum);
 }
 
 }  // namespace
